@@ -1,0 +1,114 @@
+// A1 — Partitioner ablation on random DAG families.
+//
+// (a) Solution quality: mean gap to the exhaustive optimum over random
+//     layered DAGs small enough to enumerate. Min-cut must be 0%; greedy
+//     and annealing close; random/remote-all far.
+// (b) Scaling: planning time as graphs grow to hundreds of components,
+//     where only min-cut remains both optimal and fast.
+
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "ntco/app/generators.hpp"
+#include "ntco/partition/partitioners.hpp"
+
+using namespace ntco;
+
+namespace {
+
+partition::Environment random_env(Rng& rng) {
+  partition::Environment env;
+  env.device = device::budget_phone();
+  env.remote_speed = Frequency::gigahertz(rng.uniform(1.5, 6.0));
+  env.uplink = DataRate::megabits_per_second(
+      static_cast<std::uint64_t>(rng.uniform_int(2, 80)));
+  env.downlink = env.uplink * 2.0;
+  env.uplink_latency = Duration::millis(rng.uniform_int(5, 60));
+  env.downlink_latency = env.uplink_latency;
+  return env;
+}
+
+app::TaskGraph random_graph(std::size_t components, Rng& rng) {
+  app::GeneratorParams gp;
+  gp.components = components;
+  gp.mean_work =
+      Cycles::mega(static_cast<std::uint64_t>(rng.uniform_int(100, 4000)));
+  gp.mean_flow = DataSize::kilobytes(
+      static_cast<std::uint64_t>(rng.uniform_int(20, 2000)));
+  const auto layers =
+      std::max<std::size_t>(2, std::min<std::size_t>(components / 3, 6));
+  return app::layered_random(layers, gp, rng.fork(1));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("A1", "Partitioner ablation on random DAGs",
+                      "min-cut 0% gap at all sizes; heuristic gaps grow; "
+                      "exhaustive infeasible past ~20 components");
+
+  // --- (a) Quality against ground truth (small graphs). ------------------
+  {
+    stats::Table t({"algorithm", "mean gap", "max gap", "opt found"});
+    const int kTrials = 30;
+    auto portfolio = partition::standard_portfolio(11);
+    std::vector<stats::Accumulator> gap(portfolio.size());
+    std::vector<int> exact_hits(portfolio.size(), 0);
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(500 + static_cast<std::uint64_t>(trial));
+      const auto g = random_graph(
+          static_cast<std::size_t>(rng.uniform_int(8, 16)), rng);
+      const partition::CostModel model(g, random_env(rng),
+                                       partition::Objective::latency());
+      const double opt =
+          model.evaluate(partition::ExhaustivePartitioner().plan(model));
+      for (std::size_t a = 0; a < portfolio.size(); ++a) {
+        const double got = model.evaluate(portfolio[a]->plan(model));
+        gap[a].add(got / opt - 1.0);
+        if (got <= opt * (1.0 + 1e-9)) ++exact_hits[a];
+      }
+    }
+    for (std::size_t a = 0; a < portfolio.size(); ++a)
+      t.add_row({portfolio[a]->name(), stats::cell_pct(gap[a].mean(), 1),
+                 stats::cell_pct(gap[a].max(), 1),
+                 stats::cell_pct(static_cast<double>(exact_hits[a]) / kTrials,
+                                 0)});
+    t.set_title("A1a: gap to exhaustive optimum (30 random DAGs, 8-16 "
+                "components)");
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  // --- (b) Planning-time scaling. -----------------------------------------
+  {
+    stats::Table t({"components", "min-cut (us)", "greedy (us)",
+                    "annealing (us)", "greedy gap to min-cut"});
+    for (const std::size_t n : {16u, 32u, 64u, 128u, 256u, 512u}) {
+      Rng rng(900 + n);
+      const auto g = random_graph(n, rng);
+      const partition::CostModel model(g, random_env(rng),
+                                       partition::Objective::latency());
+      auto timed = [&](const partition::Partitioner& p, double* value) {
+        const auto begin = std::chrono::steady_clock::now();
+        const auto plan = p.plan(model);
+        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - begin)
+                            .count();
+        *value = model.evaluate(plan);
+        return us;
+      };
+      double cut_v = 0, greedy_v = 0, anneal_v = 0;
+      const auto cut_us = timed(partition::MinCutPartitioner{}, &cut_v);
+      const auto greedy_us = timed(partition::GreedyPartitioner{}, &greedy_v);
+      partition::AnnealingPartitioner::Params ap;
+      ap.iterations = 20'000;
+      const auto anneal_us =
+          timed(partition::AnnealingPartitioner(ap, rng.fork(2)), &anneal_v);
+      t.add_row({std::to_string(n), std::to_string(cut_us),
+                 std::to_string(greedy_us), std::to_string(anneal_us),
+                 stats::cell_pct(greedy_v / cut_v - 1.0, 2)});
+    }
+    t.set_title("A1b: planning time vs graph size (single run per size)");
+    std::printf("%s\n", t.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+#pragma once
+
+// Shared fixtures for the experiment binaries. Every bench builds a fresh
+// simulated world per configuration point so results are independent and
+// deterministic (fixed seeds; see DESIGN.md).
+
+#include <cstdio>
+#include <string>
+
+#include "ntco/app/workloads.hpp"
+#include "ntco/cicd/pipeline.hpp"
+#include "ntco/core/controller.hpp"
+#include "ntco/edgesim/edge_platform.hpp"
+#include "ntco/stats/table.hpp"
+
+namespace ntco::bench {
+
+/// One self-contained simulated world: event loop, serverless region,
+/// UE, and UE<->cloud network path.
+struct World {
+  sim::Simulator sim;
+  serverless::Platform cloud;
+  device::Device ue;
+  net::NetworkPath path;
+  core::OffloadController controller;
+
+  World(core::ControllerConfig ccfg, net::TechProfile tech,
+        serverless::PlatformConfig pcfg = {},
+        device::DeviceSpec ue_spec = device::budget_phone())
+      : cloud(sim, pcfg),
+        ue(std::move(ue_spec)),
+        path(net::make_fixed_path(tech)),
+        controller(sim, cloud, ue, path, ccfg) {}
+};
+
+inline core::ControllerConfig latency_cfg() {
+  core::ControllerConfig cfg;
+  cfg.objective = partition::Objective::latency();
+  return cfg;
+}
+
+inline core::ControllerConfig ntc_cfg() {
+  core::ControllerConfig cfg;
+  cfg.objective = partition::Objective::non_time_critical();
+  return cfg;
+}
+
+/// Uniform experiment header so tee'd bench output reads as a report.
+inline void print_header(const char* id, const char* title,
+                         const char* shape) {
+  std::printf("\n################################################################\n");
+  std::printf("# %s  %s\n", id, title);
+  std::printf("# expected shape: %s\n", shape);
+  std::printf("################################################################\n\n");
+}
+
+}  // namespace ntco::bench

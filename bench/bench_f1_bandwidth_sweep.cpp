@@ -1,0 +1,55 @@
+// F1 — Makespan and cost versus uplink bandwidth: where offloading starts
+// to pay.
+//
+// Two workloads bracketing the CCR spectrum, executed end-to-end (measured,
+// not modelled) under min-cut plans at each bandwidth, against the
+// local-only baseline. Expected shape: ML training offloads profitably even
+// at 1 Mb/s; video transcode needs tens of Mb/s before the plan leaves the
+// phone; speedup grows monotonically with bandwidth and saturates once
+// transfer stops dominating.
+
+#include "bench_common.hpp"
+
+using namespace ntco;
+
+namespace {
+
+void sweep(const app::TaskGraph& g) {
+  stats::Table t({"uplink (Mb/s)", "local (s)", "offloaded (s)", "speedup",
+                  "remote comps", "cloud cost ($)"});
+  for (const auto mbps : {1, 2, 5, 10, 20, 50, 100}) {
+    net::TechProfile tech = net::profile_4g();
+    tech.uplink = DataRate::megabits_per_second(
+        static_cast<std::uint64_t>(mbps));
+    tech.downlink = tech.uplink * 3.0;
+
+    bench::World w(bench::latency_cfg(), tech);
+    const auto local_plan =
+        w.controller.prepare(g, partition::LocalOnlyPartitioner{});
+    const auto local = w.controller.execute(local_plan, g);
+
+    const auto plan = w.controller.prepare(g, partition::MinCutPartitioner{});
+    (void)w.controller.execute(plan, g);  // cold run warms instances
+    const auto run = w.controller.execute(plan, g);
+
+    t.add_row({std::to_string(mbps),
+               stats::cell(local.makespan.to_seconds(), 2),
+               stats::cell(run.makespan.to_seconds(), 2),
+               stats::cell(local.makespan / run.makespan, 2),
+               std::to_string(plan.partition.remote_count()),
+               stats::cell(run.cloud_cost.to_usd(), 6)});
+  }
+  t.set_title("F1: " + g.name() + " (latency objective, warm runs)");
+  std::printf("%s\n", t.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("F1", "Speedup vs uplink bandwidth",
+                      "compute-heavy offloads at any bandwidth; "
+                      "transfer-heavy crosses over in the tens of Mb/s");
+  sweep(app::workloads::ml_batch_training());
+  sweep(app::workloads::video_transcode());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// F2 — UE energy saved versus compute-to-communication ratio.
+//
+// The photo-backup graph with its demands scaled over ~3 orders of
+// magnitude: at low CCR the radio energy of shipping state exceeds the
+// compute energy avoided (offloading *costs* battery and the energy-optimal
+// partition stays local); past the break-even the savings climb toward the
+// all-remote asymptote.
+
+#include "bench_common.hpp"
+
+using namespace ntco;
+
+int main() {
+  bench::print_header("F2", "Energy saved vs compute-to-communication ratio",
+                      "negative/zero savings at low CCR, then monotone "
+                      "climb past break-even");
+
+  const auto base = app::workloads::photo_backup();
+  core::ControllerConfig cfg;
+  cfg.objective = partition::Objective::energy();
+
+  stats::Table t({"work scale", "CCR (cyc/B)", "local energy (J)",
+                  "offload energy (J)", "saved", "remote comps"});
+  for (const double scale : {0.05, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0,
+                             32.0}) {
+    const auto g = base.with_work_scaled(scale);
+    bench::World w(cfg, net::profile_4g());
+    const auto local = w.controller.execute(
+        w.controller.prepare(g, partition::LocalOnlyPartitioner{}), g);
+    const auto plan = w.controller.prepare(g, partition::MinCutPartitioner{});
+    (void)w.controller.execute(plan, g);
+    const auto run = w.controller.execute(plan, g);
+    const double saved = 1.0 - run.device_energy.to_joules() /
+                                   local.device_energy.to_joules();
+    t.add_row({stats::cell(scale, 3),
+               stats::cell(g.compute_to_communication(), 1),
+               stats::cell(local.device_energy.to_joules(), 2),
+               stats::cell(run.device_energy.to_joules(), 2),
+               stats::cell_pct(saved, 1),
+               std::to_string(plan.partition.remote_count())});
+  }
+  t.set_title("F2: photo-backup, demand scaled (energy objective, 4G)");
+  t.set_caption("saved = 1 - offloaded/local UE energy; 0% rows are "
+                "all-local plans (offloading would waste battery)");
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// F5 — Edge site versus serverless cloud as user count grows.
+//
+// N users each submit one 10 Gcycle job within a one-minute window. The
+// edge site (4 servers, LAN latency, standing infrastructure cost) wins on
+// response time at low load; past ~4 concurrent jobs its queue grows
+// linearly while the serverless cloud keeps scaling out (cold starts are
+// its only penalty). Per-job cost: the edge is ruinous at low utilisation
+// (idle servers still bill) and only approaches the serverless price when
+// saturated — exactly the "required infrastructure" drawback the abstract
+// cites, and why non-time-critical work should skip the edge.
+
+#include "bench_common.hpp"
+
+using namespace ntco;
+
+int main() {
+  bench::print_header("F5", "Edge vs serverless under load",
+                      "edge p95 explodes past its capacity; serverless p95 "
+                      "flat; edge $/job falls with load, serverless flat");
+
+  const auto kWork = Cycles::giga(10);
+  const auto kWindow = Duration::minutes(1);
+  const auto kDay = Duration::hours(24);  // edge amortisation period
+
+  stats::Table t({"users", "edge p95 (s)", "cloud p95 (s)", "edge util",
+                  "edge $/job", "cloud $/job", "cloud colds"});
+  for (const int users : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    // --- Edge site: 4 servers, jobs burst within the window. -------------
+    sim::Simulator esim;
+    edgesim::EdgeConfig ecfg;
+    ecfg.servers = 4;
+    edgesim::EdgePlatform edge(esim, ecfg);
+    net::NetworkPath elan = net::make_fixed_path(net::profile_edge_lan());
+    stats::PercentileSample edge_latency;
+    Rng erng(31);
+    for (int u = 0; u < users; ++u) {
+      const auto at = TimePoint::origin() +
+                      kWindow * erng.uniform(0.0, 1.0);
+      esim.schedule_at(at, [&] {
+        // Request and response ride the LAN around the queue+exec.
+        const Duration up = elan.uplink().transfer_time(DataSize::megabytes(2));
+        esim.schedule_after(up, [&, up] {
+          edge.submit(kWork, [&, up](const edgesim::EdgeResult& r) {
+            const Duration down =
+                elan.downlink().transfer_time(DataSize::kilobytes(200));
+            edge_latency.add((r.finished - r.submitted + down + up).to_seconds());
+          });
+        });
+      });
+    }
+    esim.run();
+    // Amortise a day of infrastructure over this window's share of a
+    // day's identical windows: the site exists all day either way.
+    esim.run_until(TimePoint::origin() + kDay);
+    const double edge_jobs_per_day =
+        static_cast<double>(users) * (kDay / kWindow);
+    const double edge_cost_per_job =
+        edge.infrastructure_cost().to_usd() / edge_jobs_per_day;
+
+    // --- Serverless: same burst, same work. ------------------------------
+    sim::Simulator csim;
+    serverless::Platform cloud(csim, {});
+    net::NetworkPath wan = net::make_fixed_path(net::profile_wifi());
+    const auto fn = cloud.deploy(serverless::FunctionSpec{
+        "job", DataSize::megabytes(1792), DataSize::megabytes(40)});
+    stats::PercentileSample cloud_latency;
+    Rng crng(31);
+    for (int u = 0; u < users; ++u) {
+      const auto at = TimePoint::origin() + kWindow * crng.uniform(0.0, 1.0);
+      csim.schedule_at(at, [&] {
+        const Duration up = wan.uplink().transfer_time(DataSize::megabytes(2));
+        csim.schedule_after(up, [&, up] {
+          cloud.invoke(fn, kWork, [&, up](const serverless::InvocationResult& r) {
+            const Duration down =
+                wan.downlink().transfer_time(DataSize::kilobytes(200));
+            cloud_latency.add(
+                (r.finished - r.submitted + down + up).to_seconds());
+          });
+        });
+      });
+    }
+    csim.run();
+    const auto cstats = cloud.stats();
+    const double cloud_cost_per_job =
+        cloud.total_cost().to_usd() / static_cast<double>(users);
+
+    t.add_row({std::to_string(users), stats::cell(edge_latency.p95(), 2),
+               stats::cell(cloud_latency.p95(), 2),
+               stats::cell_pct(edge.utilization() * (kDay / kWindow), 1),
+               stats::cell(edge_cost_per_job, 6),
+               stats::cell(cloud_cost_per_job, 6),
+               std::to_string(cstats.cold_starts)});
+  }
+  t.set_title("F5: one 10 Gcyc job per user in a 1-minute window "
+              "(edge: 4 x 3 GHz servers; cloud: 1792 MB functions)");
+  t.set_caption("edge util extrapolates the window's load to a full day; "
+                "edge $/job amortises 24 h of 4-server infrastructure");
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

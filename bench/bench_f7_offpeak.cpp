@@ -1,0 +1,63 @@
+// F7 — Cost versus deferral window under time-of-day pricing.
+//
+// The same daily job mix under three scheduling policies as the allowed
+// deferral (slack) grows from zero to a full day. Immediate is flat at the
+// day tariff; CheapestWindow/Batched step down as soon as the window
+// reaches the discount period and plateau at the night price. The gap
+// between the curves is the money non-time-criticality is worth.
+
+#include "bench_common.hpp"
+#include "ntco/sched/deferred_scheduler.hpp"
+
+using namespace ntco;
+
+namespace {
+
+double cost_per_job(sched::Policy policy, double slack_hours) {
+  sim::Simulator sim;
+  serverless::PlatformConfig pcfg;
+  pcfg.price_windows = {{22, 6, 0.4}, {6, 22, 1.0}};
+  serverless::Platform cloud(sim, pcfg);
+  const auto fn = cloud.deploy(serverless::FunctionSpec{
+      "batch", DataSize::megabytes(1792), DataSize::megabytes(40)});
+  sched::DeferredScheduler::Config scfg;
+  scfg.policy = policy;
+  sched::DeferredExecutor exec(sim, cloud, fn,
+                               sched::DeferredScheduler(cloud, scfg));
+  Rng rng(41);
+  for (int j = 0; j < 40; ++j) {
+    const auto release =
+        TimePoint::origin() +
+        Duration::from_seconds(rng.uniform(7.0, 21.0) * 3600.0);
+    sim.schedule_at(release, [&exec, slack_hours] {
+      exec.submit(sched::DeferredJob{
+          "job", Cycles::giga(300),
+          Duration::from_seconds(slack_hours * 3600.0)});
+    });
+  }
+  sim.run();
+  return exec.report().total_cost.to_usd() /
+         static_cast<double>(exec.report().jobs);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("F7", "Cost vs deferral window under night tariff",
+                      "immediate flat; deferring policies step down to the "
+                      "0.4x plateau once the window reaches 22:00");
+
+  stats::Table t({"slack (h)", "immediate $/job", "cheapest-window $/job",
+                  "batched $/job", "saving"});
+  for (const double slack : {0.0, 1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0}) {
+    const double imm = cost_per_job(sched::Policy::Immediate, slack);
+    const double cheap = cost_per_job(sched::Policy::CheapestWindow, slack);
+    const double batched = cost_per_job(sched::Policy::Batched, slack);
+    t.add_row({stats::cell(slack, 1), stats::cell(imm, 6),
+               stats::cell(cheap, 6), stats::cell(batched, 6),
+               stats::cell_pct(1.0 - cheap / imm, 1)});
+  }
+  t.set_title("F7: 40 daily jobs, 2-minute work each, night tariff 0.4x");
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

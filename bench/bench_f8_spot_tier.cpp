@@ -1,0 +1,75 @@
+// F8 — Spot-tier offloading for delay-tolerant jobs: cost versus
+// preemption hazard.
+//
+// Spot-like preemptible FaaS capacity at 0.3x the on-demand price. Only
+// jobs with slack can use it, because preemptions force retries. Sweep the
+// mean time-to-preempt: when executions are short relative to the hazard,
+// spot-with-fallback approaches a 70% saving with zero deadline misses;
+// as the hazard approaches the job length, retries eat the discount and
+// the fallback increasingly rescues the deadline on on-demand capacity.
+
+#include "bench_common.hpp"
+#include "ntco/sched/deferred_scheduler.hpp"
+
+using namespace ntco;
+
+namespace {
+
+sched::DeferredReport run(sched::TierPolicy tier, Duration mean_preempt) {
+  sim::Simulator sim;
+  serverless::PlatformConfig pcfg;
+  pcfg.spot_price_multiplier = 0.3;
+  pcfg.spot_mean_time_to_preempt = mean_preempt;
+  serverless::Platform cloud(sim, pcfg);
+  const auto fn = cloud.deploy(serverless::FunctionSpec{
+      "batch", DataSize::megabytes(1792), DataSize::megabytes(40)});
+
+  sched::DeferredScheduler::Config scfg;
+  scfg.policy = sched::Policy::Immediate;
+  scfg.tier_policy = tier;
+  sched::DeferredExecutor exec(sim, cloud, fn,
+                               sched::DeferredScheduler(cloud, scfg));
+  for (int i = 0; i < 60; ++i)
+    sim.schedule_at(TimePoint::origin() + Duration::minutes(10 * i), [&exec] {
+      // 100 s of work with 90 min of slack.
+      exec.submit(sched::DeferredJob{"job", Cycles::giga(250),
+                                     Duration::minutes(90)});
+    });
+  sim.run();
+  return exec.report();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("F8", "Spot tier vs preemption hazard",
+                      "saving ~70% when preemptions are rare; shrinks as "
+                      "hazard nears job length; misses stay 0 via fallback");
+
+  const auto od = run(sched::TierPolicy::OnDemandOnly, Duration::zero());
+  const double od_cost = od.total_cost.to_usd();
+
+  stats::Table t({"mean time-to-preempt", "preempt/job", "fallbacks",
+                  "misses", "$/job", "saving vs on-demand"});
+  t.add_row({"on-demand only", "0.00", "0", std::to_string(od.deadline_misses),
+             stats::cell(od_cost / static_cast<double>(od.jobs), 6), "0.0%"});
+  for (const auto mean_s : {30.0, 60.0, 120.0, 300.0, 900.0, 3600.0, 0.0}) {
+    const auto r = run(sched::TierPolicy::SpotWithFallback,
+                       Duration::from_seconds(mean_s));
+    const std::string label =
+        mean_s == 0.0 ? "never (ideal spot)"
+                      : stats::cell(mean_s / 60.0, 1) + " min";
+    t.add_row({label,
+               stats::cell(static_cast<double>(r.spot_preemptions) /
+                               static_cast<double>(r.jobs),
+                           2),
+               std::to_string(r.fallbacks), std::to_string(r.deadline_misses),
+               stats::cell(r.total_cost.to_usd() /
+                               static_cast<double>(r.jobs),
+                           6),
+               stats::cell_pct(1.0 - r.total_cost.to_usd() / od_cost, 1)});
+  }
+  t.set_title("F8: 60 jobs of 100 s work, 90 min slack, spot at 0.3x");
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// F9 — Resilience under transfer loss: completion, fallback, and the cost
+// of retries.
+//
+// The uplink and downlink drop each transfer with probability p; the
+// controller retries (2x) and falls back to local execution when an upload
+// is unrecoverable. Expected shape: completion stays ~100% across loss
+// rates — failed uploads degrade to local execution rather than failing the
+// run — while makespan inflates with burned timeouts; only downlink loss
+// can abort a run (stranded results), which shows up at high loss as
+// non-complete runs.
+
+#include "bench_common.hpp"
+#include "ntco/net/flaky_link.hpp"
+
+using namespace ntco;
+
+namespace {
+
+net::NetworkPath flaky_wifi(double loss, std::uint64_t seed) {
+  const auto p = net::profile_wifi();
+  return net::NetworkPath(
+      "flaky-wifi",
+      std::make_unique<net::FlakyLink>(
+          std::make_unique<net::FixedLink>(p.one_way_latency, p.uplink), loss,
+          Duration::seconds(2), Rng(seed)),
+      std::make_unique<net::FlakyLink>(
+          std::make_unique<net::FixedLink>(p.one_way_latency, p.downlink),
+          loss, Duration::seconds(2), Rng(seed + 1)));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("F9", "Resilience under transfer loss",
+                      "completion ~100% via local fallback until downlink "
+                      "loss strands results; makespan inflates with "
+                      "timeouts");
+
+  const auto g = app::workloads::photo_backup();
+  stats::Table t({"loss rate", "completed", "fallbacks/run", "retries/run",
+                  "median makespan (s)", "median $/run"});
+  for (const double loss : {0.0, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0}) {
+    const int kRuns = 30;
+    int completed = 0;
+    double fallbacks = 0, retries = 0;
+    stats::PercentileSample makespans, costs;
+    for (int rep = 0; rep < kRuns; ++rep) {
+      sim::Simulator sim;
+      serverless::Platform cloud(sim, {});
+      device::Device ue(device::budget_phone());
+      auto path = flaky_wifi(loss, 1000 + static_cast<std::uint64_t>(rep));
+      core::ControllerConfig cfg;
+      cfg.objective = partition::Objective::latency();
+      cfg.max_transfer_retries = 2;
+      core::OffloadController ctl(sim, cloud, ue, path, cfg);
+      const auto plan = ctl.prepare(g, partition::MinCutPartitioner{});
+      const auto r = ctl.execute(plan, g);
+      if (!r.failed) {
+        ++completed;
+        makespans.add(r.makespan.to_seconds());
+        costs.add(r.cloud_cost.to_usd());
+      }
+      fallbacks += static_cast<double>(r.local_fallbacks);
+      retries += static_cast<double>(r.transfer_failures);
+    }
+    t.add_row({stats::cell_pct(loss, 0), std::to_string(completed) + "/30",
+               stats::cell(fallbacks / kRuns, 2),
+               stats::cell(retries / kRuns, 2),
+               completed ? stats::cell(makespans.median(), 2) : "-",
+               completed ? stats::cell(costs.median(), 6) : "-"});
+  }
+  t.set_title("F9: photo-backup on WiFi with symmetric loss, 2 retries, "
+              "30 runs per point");
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Micro-benchmark (google-benchmark): planning throughput of the
+// partitioning algorithms on graphs of increasing size. Partitioning runs
+// inside the CI/CD pipeline and at every drift-triggered re-release, so its
+// latency bounds how often re-planning is affordable.
+
+#include <benchmark/benchmark.h>
+
+#include "ntco/app/generators.hpp"
+#include "ntco/device/device.hpp"
+#include "ntco/partition/partitioners.hpp"
+
+namespace {
+
+using namespace ntco;
+
+partition::CostModel make_model(std::size_t components,
+                                const app::TaskGraph** keep) {
+  static std::vector<std::unique_ptr<app::TaskGraph>> graphs;
+  app::GeneratorParams gp;
+  gp.components = components;
+  graphs.push_back(std::make_unique<app::TaskGraph>(
+      app::layered_random(std::max<std::size_t>(2, components / 4), gp,
+                          Rng(components))));
+  *keep = graphs.back().get();
+  partition::Environment env;
+  env.device = device::budget_phone();
+  return partition::CostModel(**keep, env, partition::Objective::latency());
+}
+
+void BM_MinCut(benchmark::State& state) {
+  const app::TaskGraph* g = nullptr;
+  const auto model = make_model(static_cast<std::size_t>(state.range(0)), &g);
+  const partition::MinCutPartitioner algo;
+  for (auto _ : state) benchmark::DoNotOptimize(algo.plan(model));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MinCut)->Range(8, 512)->Complexity();
+
+void BM_Greedy(benchmark::State& state) {
+  const app::TaskGraph* g = nullptr;
+  const auto model = make_model(static_cast<std::size_t>(state.range(0)), &g);
+  const partition::GreedyPartitioner algo;
+  for (auto _ : state) benchmark::DoNotOptimize(algo.plan(model));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Greedy)->Range(8, 128)->Complexity();
+
+void BM_Evaluate(benchmark::State& state) {
+  const app::TaskGraph* g = nullptr;
+  const auto model = make_model(static_cast<std::size_t>(state.range(0)), &g);
+  const auto plan = partition::RemoteAllPartitioner{}.plan(model);
+  for (auto _ : state) benchmark::DoNotOptimize(model.evaluate(plan));
+}
+BENCHMARK(BM_Evaluate)->Range(8, 512);
+
+}  // namespace

@@ -1,0 +1,40 @@
+// T1 — Workload characteristics.
+//
+// The four non-time-critical applications the evaluation uses, chosen to
+// span the compute-to-communication spectrum from transfer-dominated
+// (video transcode) to compute-dominated (ML batch training).
+
+#include "bench_common.hpp"
+
+using namespace ntco;
+
+int main() {
+  bench::print_header(
+      "T1", "Workload characteristics",
+      "CCR spans >3 orders of magnitude: video << photo/etl << ml");
+
+  stats::Table t({"workload", "components", "pinned", "flows", "work (Gcyc)",
+                  "data (MB)", "CCR (cyc/B)", "local runtime",
+                  "local energy"});
+  const device::Device ue(device::budget_phone());
+  for (const auto& g : app::workloads::all()) {
+    Duration runtime;
+    Energy energy;
+    for (const auto& c : g.components()) {
+      runtime += ue.exec_time(c.work);
+      energy += ue.exec_energy(c.work);
+    }
+    t.add_row({g.name(), std::to_string(g.component_count()),
+               std::to_string(g.pinned_count()),
+               std::to_string(g.flow_count()),
+               stats::cell(g.total_work().to_mega() / 1000.0, 1),
+               stats::cell(g.total_flow_bytes().to_megabytes(), 1),
+               stats::cell(g.compute_to_communication(), 1),
+               to_string(runtime), to_string(energy)});
+  }
+  t.set_title("T1: workloads (local runtime/energy on the budget phone)");
+  t.set_caption(
+      "Pinned components (capture/UI/install) must stay on the UE.");
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// T2 — Partitioner comparison on the four workloads.
+//
+// For each workload and algorithm: objective value, physical totals, gap to
+// the exhaustive optimum, and planning wall time. Min-cut must sit at 0%
+// gap everywhere (it is exact for the separable objective) at microsecond
+// planning cost; greedy is near-optimal; the naive baselines bracket the
+// range.
+
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "ntco/partition/partitioners.hpp"
+
+using namespace ntco;
+
+namespace {
+
+void run_table(const char* title, const partition::Objective& objective) {
+  stats::Table t({"workload", "algorithm", "objective", "latency (s)",
+                  "energy (J)", "cost ($)", "gap-to-opt", "plan time (us)"});
+  for (const auto& g : app::workloads::all()) {
+    partition::Environment env;
+    env.device = device::budget_phone();
+    const auto tech = net::profile_4g();
+    env.uplink = tech.uplink;
+    env.downlink = tech.downlink;
+    env.uplink_latency = tech.one_way_latency;
+    env.downlink_latency = tech.one_way_latency;
+    const partition::CostModel model(g, env, objective);
+
+    const auto optimal =
+        model.evaluate(partition::ExhaustivePartitioner().plan(model));
+
+    auto portfolio = partition::standard_portfolio(42);
+    portfolio.push_back(std::make_unique<partition::ExhaustivePartitioner>());
+    for (const auto& algo : portfolio) {
+      const auto begin = std::chrono::steady_clock::now();
+      const auto plan = algo->plan(model);
+      const auto micros =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - begin)
+              .count();
+      const auto b = model.breakdown(plan);
+      t.add_row({g.name(), algo->name(), stats::cell(b.objective, 4),
+                 stats::cell(b.latency.to_seconds(), 2),
+                 stats::cell(b.energy.to_joules(), 2),
+                 stats::cell(b.money.to_usd(), 6),
+                 stats::cell_pct(b.objective / optimal - 1.0, 1),
+                 std::to_string(micros)});
+    }
+  }
+  t.set_title(title);
+  std::printf("%s\n", t.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("T2", "Partitioning algorithms",
+                      "min-cut gap 0% everywhere; greedy close; local-only/"
+                      "remote-all/random bracket the range");
+  run_table("T2a: latency objective (budget phone, 4G)",
+            partition::Objective::latency());
+  run_table("T2b: non-time-critical objective (money-dominant)",
+            partition::Objective::non_time_critical());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// T3 — Serverless memory-size allocation.
+//
+// The duration/cost curve of two representative functions (highly parallel
+// `train`, weakly parallel `forecast`) over the provider's memory range,
+// plus the optimiser's pick under several per-invocation deadlines. The
+// curve must show: duration falls with memory (steeply below one vCPU,
+// Amdahl-limited above), cost has an interior minimum, and deadlines move
+// the pick up the memory axis.
+
+#include "bench_common.hpp"
+#include "ntco/alloc/memory_optimizer.hpp"
+
+using namespace ntco;
+
+namespace {
+
+void curve_for(const char* name, Cycles work, DataSize floor, double parallel,
+               const alloc::MemoryOptimizer& opt) {
+  stats::Table t({"memory (MB)", "duration (s)", "cost ($)", "note"});
+  const auto unconstrained = opt.choose(work, floor, parallel);
+  for (const auto mb :
+       {128, 256, 512, 1024, 1792, 2048, 3072, 5120, 7168, 10240}) {
+    const auto mem = DataSize::megabytes(static_cast<std::uint64_t>(mb));
+    if (mem < floor) continue;
+    const auto curve =
+        opt.sweep(work, mem, parallel, DataSize::megabytes(10240));
+    const auto& p = curve.front();
+    t.add_row({std::to_string(mb), stats::cell(p.duration.to_seconds(), 2),
+               stats::cell(p.cost.to_usd(), 6),
+               p.memory == unconstrained.chosen.memory ? "<- cost-optimal"
+                                                       : ""});
+  }
+  t.set_title(std::string("T3: memory curve for '") + name + "' (" +
+              to_string(work) + ", parallel fraction " +
+              stats::cell(parallel, 2) + ")");
+  std::printf("%s\n", t.render().c_str());
+
+  stats::Table picks({"deadline", "chosen memory (MB)", "duration (s)",
+                      "cost ($)", "feasible"});
+  for (const auto deadline_s : {0.5, 2.0, 10.0, 30.0, 120.0, 1e9}) {
+    const auto c = opt.choose(work, floor, parallel,
+                              Duration::from_seconds(deadline_s));
+    picks.add_row({deadline_s > 1e8 ? "none" : stats::cell(deadline_s, 1) + " s",
+                   std::to_string(c.chosen.memory.count_bytes() / 1'000'000),
+                   stats::cell(c.chosen.duration.to_seconds(), 2),
+                   stats::cell(c.chosen.cost.to_usd(), 6),
+                   c.feasible ? "yes" : "NO"});
+  }
+  picks.set_title(std::string("T3: optimiser picks for '") + name +
+                  "' under deadlines");
+  std::printf("%s\n", picks.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("T3", "Serverless memory allocation",
+                      "interior cost optimum; deadlines buy memory; "
+                      "Amdahl caps the useful range");
+  sim::Simulator s;
+  serverless::Platform cloud(s, {});
+  const alloc::MemoryOptimizer opt(cloud);
+
+  const auto ml = app::workloads::ml_batch_training();
+  const auto& train = ml.component(2);  // "train"
+  curve_for("train", train.work, train.memory, train.parallel_fraction, opt);
+
+  const auto etl = app::workloads::nightly_etl();
+  const auto& forecast = etl.component(4);  // "forecast"
+  curve_for("forecast", forecast.work, forecast.memory,
+            forecast.parallel_fraction, opt);
+  return 0;
+}

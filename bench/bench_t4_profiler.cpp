@@ -1,0 +1,52 @@
+// T4 — Demand-profiler accuracy versus trace volume.
+//
+// Estimation error of per-component demand and per-flow payload as the
+// profiler ingests more instrumented runs, at two noise levels. Error must
+// fall roughly as 1/sqrt(n); a few dozen traces suffice for partitioning.
+
+#include "bench_common.hpp"
+#include "ntco/profile/profiler.hpp"
+
+using namespace ntco;
+
+int main() {
+  bench::print_header("T4", "Profiler accuracy vs trace volume",
+                      "error ~ cv/sqrt(n); <5% by ~100 traces at cv=0.3");
+
+  const auto truth = app::workloads::photo_backup();
+  stats::Table t({"traces", "cv=0.2 max err", "cv=0.5 max err",
+                  "cv=0.5 mean-of-means err"});
+  for (const auto n : {1, 5, 10, 20, 50, 100, 200, 500}) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (const double cv : {0.2, 0.5}) {
+      // Average the max relative error over 20 independent repetitions so
+      // the table is stable, not one lucky draw.
+      stats::Accumulator err;
+      stats::Accumulator mean_err;
+      for (std::uint64_t rep = 0; rep < 20; ++rep) {
+        profile::TraceGenerator gen(truth, cv, Rng(1000 * rep + 7));
+        profile::DemandProfiler prof(truth.component_count(),
+                                     truth.flow_count());
+        for (int i = 0; i < n; ++i) prof.ingest(gen.next());
+        err.add(prof.max_relative_error(truth));
+        // Mean error across components (less tail-sensitive).
+        double sum = 0.0;
+        for (app::ComponentId id = 0; id < truth.component_count(); ++id) {
+          const double tw =
+              static_cast<double>(truth.component(id).work.value());
+          const double ew =
+              static_cast<double>(prof.component(id).mean.value());
+          sum += std::abs(ew - tw) / tw;
+        }
+        mean_err.add(sum / static_cast<double>(truth.component_count()));
+      }
+      row.push_back(stats::cell_pct(err.mean(), 1));
+      if (cv == 0.5) row.push_back(stats::cell_pct(mean_err.mean(), 1));
+    }
+    t.add_row(std::move(row));
+  }
+  t.set_title("T4: demand estimation error (photo-backup, 20 repetitions)");
+  t.set_caption("max err = worst component/flow; cv = run-to-run variation");
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

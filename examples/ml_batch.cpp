@@ -1,0 +1,85 @@
+// Scenario: periodic on-device model personalisation deferred into the
+// night tariff. The job has hours of slack, so the scheduler ships it into
+// the cheap window and the bill drops with zero missed deadlines.
+//
+// Demonstrates: DeferredScheduler policies, time-of-day pricing, the
+// latency/cost trade at the heart of "non-time-critical".
+
+#include <cstdio>
+
+#include "ntco/app/workloads.hpp"
+#include "ntco/common/rng.hpp"
+#include "ntco/sched/deferred_scheduler.hpp"
+
+using namespace ntco;
+
+namespace {
+
+sched::DeferredReport run_fleet(sched::Policy policy) {
+  sim::Simulator sim;
+  serverless::PlatformConfig pcfg;
+  // Provider discounts nights 22:00-06:00 to 40%.
+  pcfg.price_windows = {{22, 6, 0.4}, {6, 22, 1.0}};
+  serverless::Platform cloud(sim, pcfg);
+
+  const auto fn = cloud.deploy(serverless::FunctionSpec{
+      "personalise", DataSize::megabytes(3072), DataSize::megabytes(150),
+      0.95});
+
+  sched::DeferredScheduler::Config scfg;
+  scfg.policy = policy;
+  sched::DeferredExecutor exec(sim, cloud, fn,
+                               sched::DeferredScheduler(cloud, scfg));
+
+  // 50 users trigger personalisation through the day; "by tomorrow
+  // morning" semantics give ~18 h of slack.
+  Rng rng(5);
+  for (int u = 0; u < 50; ++u) {
+    const auto release =
+        TimePoint::origin() +
+        Duration::from_seconds(rng.uniform(7.0, 21.0) * 3600.0);
+    sim.schedule_at(release, [&exec, u] {
+      exec.submit(sched::DeferredJob{"user-" + std::to_string(u),
+                                     Cycles::giga(450), Duration::hours(18)});
+    });
+  }
+  sim.run();
+  return exec.report();
+}
+
+const char* policy_name(sched::Policy p) {
+  switch (p) {
+    case sched::Policy::Immediate: return "immediate";
+    case sched::Policy::CheapestWindow: return "cheapest-window";
+    case sched::Policy::Batched: return "batched";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%-18s %10s %10s %14s %16s\n", "policy", "jobs", "misses",
+              "total cost", "median latency");
+  sched::DeferredReport immediate;
+  for (const auto policy :
+       {sched::Policy::Immediate, sched::Policy::CheapestWindow,
+        sched::Policy::Batched}) {
+    const auto r = run_fleet(policy);
+    if (policy == sched::Policy::Immediate) immediate = r;
+    std::printf("%-18s %10llu %10llu %14s %13.1f min\n", policy_name(policy),
+                static_cast<unsigned long long>(r.jobs),
+                static_cast<unsigned long long>(r.deadline_misses),
+                to_string(r.total_cost).c_str(),
+                r.completion_latency_s.median() / 60.0);
+    if (policy != sched::Policy::Immediate && immediate.jobs > 0)
+      std::printf("%-18s %47.1f%% cheaper than immediate\n", "",
+                  (1.0 - r.total_cost.to_usd() /
+                             immediate.total_cost.to_usd()) *
+                      100.0);
+  }
+  std::printf("\nDelay tolerance is money: same work, same deadlines met,\n"
+              "smaller bill — the paper's core argument for keeping\n"
+              "non-time-critical offloading in the cloud.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Scenario: a fleet of phones runs overnight photo backup through the
+// framework, with profiling driving the partition and a warm pool sized by
+// the Erlang-B planner absorbing the nightly burst.
+//
+// Demonstrates: DemandProfiler -> estimated graph -> prepare() -> warm-pool
+// planning -> concurrent execution -> platform accounting.
+
+#include <cstdio>
+
+#include "ntco/alloc/warm_pool.hpp"
+#include "ntco/app/workloads.hpp"
+#include "ntco/core/controller.hpp"
+#include "ntco/profile/profiler.hpp"
+
+using namespace ntco;
+
+int main() {
+  sim::Simulator sim;
+  serverless::Platform cloud(sim, serverless::PlatformConfig{});
+  device::Device phone(device::budget_phone());
+  auto path = net::make_stochastic_path(net::profile_wifi(), Rng(7));
+  core::OffloadController controller(sim, cloud, phone, path,
+                                     core::ControllerConfig{});
+
+  // The application as shipped; its true demands are unknown to us.
+  const app::TaskGraph truth = app::workloads::photo_backup();
+
+  // --- Profile: 60 instrumented runs with 30% run-to-run variation. -----
+  profile::TraceGenerator instrumented(truth, 0.3, Rng(21));
+  profile::DemandProfiler profiler(truth.component_count(),
+                                   truth.flow_count());
+  for (int i = 0; i < 60; ++i) profiler.ingest(instrumented.next());
+  const auto estimated = profiler.estimated_graph(truth);
+  std::printf("profiled %zu runs, worst demand estimate off by %.1f%%\n",
+              profiler.trace_count(),
+              profiler.max_relative_error(truth) * 100.0);
+
+  // --- Partition + deploy from the estimate. -----------------------------
+  const partition::MinCutPartitioner mincut;
+  const auto plan = controller.prepare(estimated, mincut);
+  std::printf("partition %s: components ", plan.partition.to_string().c_str());
+  for (app::ComponentId id = 0; id < truth.component_count(); ++id)
+    if (plan.is_remote(id))
+      std::printf("[%s -> %s] ", truth.component(id).name.c_str(),
+                  to_string(plan.memory_of[id]).c_str());
+  std::printf("\n");
+
+  // --- Size a warm pool for the nightly burst: 200 phones over an hour. --
+  const double arrivals_per_second = 200.0 / 3600.0;
+  alloc::WarmPoolPlanner::Inputs pool_in;
+  pool_in.arrivals_per_second = arrivals_per_second;
+  pool_in.service_time = Duration::seconds(8);  // rough per-backup service
+  pool_in.target_cold_rate = 0.05;
+  pool_in.memory = DataSize::megabytes(768);
+  const auto pool = alloc::WarmPoolPlanner::plan(pool_in);
+  std::printf("warm pool: %zu instances (predicted cold rate %.2f%%, %s/h)\n",
+              pool.instances, pool.predicted_cold_rate * 100.0,
+              to_string(pool.standing_cost_per_hour).c_str());
+  for (app::ComponentId id = 0; id < truth.component_count(); ++id)
+    if (plan.is_remote(id))
+      cloud.set_provisioned_concurrency(plan.function_of[id], pool.instances);
+
+  // --- The nightly burst: 200 backups with exponential inter-arrivals. ---
+  Rng arrivals(99);
+  stats::Accumulator makespans;
+  Money total_cloud;
+  int completed = 0;
+  TimePoint next = sim.now();
+  for (int i = 0; i < 200; ++i) {
+    next = next + Duration::from_seconds(
+                      arrivals.exponential(1.0 / arrivals_per_second));
+    sim.schedule_at(next, [&] {
+      controller.execute_async(plan, truth,
+                               [&](const core::ExecutionReport& r) {
+                                 makespans.add(r.makespan.to_seconds());
+                                 total_cloud += r.cloud_cost;
+                                 ++completed;
+                               });
+    });
+  }
+  sim.run();
+
+  const auto st = cloud.stats();
+  std::printf("\n%d backups: mean makespan %.2f s (min %.2f, max %.2f)\n",
+              completed, makespans.mean(), makespans.min(), makespans.max());
+  std::printf("cloud: %llu invocations, %llu cold starts (%.1f%%)\n",
+              static_cast<unsigned long long>(st.invocations),
+              static_cast<unsigned long long>(st.cold_starts),
+              100.0 * static_cast<double>(st.cold_starts) /
+                  static_cast<double>(st.invocations));
+  std::printf("bill: %s for runs, %s total platform (incl. warm pool)\n",
+              to_string(total_cloud).c_str(),
+              to_string(cloud.total_cost()).c_str());
+  return 0;
+}

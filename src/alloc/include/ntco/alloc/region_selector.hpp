@@ -1,0 +1,77 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ntco/common/contracts.hpp"
+#include "ntco/common/units.hpp"
+
+/// \file region_selector.hpp
+/// Choosing *which* cloud region hosts an offloaded function.
+///
+/// Serverless regions differ in tariff, network distance, and grid carbon
+/// intensity. Latency-critical work must take the nearest region;
+/// non-time-critical work is free to chase the cheapest or cleanest one —
+/// another degree of freedom only delay tolerance unlocks (bench T6).
+
+namespace ntco::alloc {
+
+/// One candidate region.
+struct RegionOption {
+  std::string name;
+  /// Execution price relative to the reference tariff (1.0 = reference).
+  double price_factor = 1.0;
+  /// Extra one-way latency versus the nearest region.
+  Duration extra_latency;
+  /// Grid carbon intensity, gCO2 per kWh (annual average).
+  double carbon_gco2_per_kwh = 400.0;
+};
+
+/// A realistic four-region menu (relative tariffs and typical grid
+/// intensities; nearest region is the reference).
+[[nodiscard]] std::vector<RegionOption> default_regions();
+
+/// Evaluation of one region for one function's expected usage.
+struct RegionScore {
+  std::size_t region_index = 0;
+  Money cost_per_invocation;
+  Duration round_trip_overhead;  ///< 2x extra latency (request + response)
+  double gco2_per_invocation = 0.0;
+  double score = 0.0;
+};
+
+/// Weighted single-winner region selection.
+class RegionSelector {
+ public:
+  struct Weights {
+    double money = 1.0;           ///< per USD
+    double latency = 0.0;         ///< per second of added round trip
+    double carbon = 0.0;          ///< per gram CO2
+  };
+
+  /// `reference_cost` is the per-invocation execution cost at the
+  /// reference tariff; `exec_time` the expected execution duration;
+  /// `vcpu_power` the server power attributed to the function while it
+  /// runs (for the carbon estimate).
+  RegionSelector(std::vector<RegionOption> regions, Weights weights,
+                 Power vcpu_power = Power::watts(10.0));
+
+  /// Scores every region for one function.
+  [[nodiscard]] std::vector<RegionScore> score_all(Money reference_cost,
+                                                   Duration exec_time) const;
+
+  /// The minimum-score region.
+  [[nodiscard]] RegionScore choose(Money reference_cost,
+                                   Duration exec_time) const;
+
+  [[nodiscard]] const std::vector<RegionOption>& regions() const {
+    return regions_;
+  }
+
+ private:
+  std::vector<RegionOption> regions_;
+  Weights weights_;
+  Power vcpu_power_;
+};
+
+}  // namespace ntco::alloc

@@ -1,0 +1,64 @@
+#include "ntco/alloc/region_selector.hpp"
+
+#include <algorithm>
+
+#include "ntco/common/error.hpp"
+
+namespace ntco::alloc {
+
+std::vector<RegionOption> default_regions() {
+  return {
+      {"near-metro", 1.10, Duration::zero(), 350.0},      // close, pricey
+      {"us-east", 1.00, Duration::millis(35), 420.0},     // reference tariff
+      {"eu-north", 1.02, Duration::millis(60), 30.0},     // hydro grid
+      {"ap-south", 0.92, Duration::millis(90), 700.0},    // cheap, coal-heavy
+  };
+}
+
+RegionSelector::RegionSelector(std::vector<RegionOption> regions,
+                               Weights weights, Power vcpu_power)
+    : regions_(std::move(regions)), weights_(weights),
+      vcpu_power_(vcpu_power) {
+  if (regions_.empty()) throw ConfigError("region menu must be non-empty");
+  for (const auto& r : regions_) {
+    if (r.price_factor <= 0.0)
+      throw ConfigError("region '" + r.name + "': price factor must be > 0");
+    if (r.extra_latency.is_negative() || r.carbon_gco2_per_kwh < 0.0)
+      throw ConfigError("region '" + r.name + "': malformed option");
+  }
+  NTCO_EXPECTS(weights.money >= 0.0);
+  NTCO_EXPECTS(weights.latency >= 0.0);
+  NTCO_EXPECTS(weights.carbon >= 0.0);
+}
+
+std::vector<RegionScore> RegionSelector::score_all(Money reference_cost,
+                                                   Duration exec_time) const {
+  NTCO_EXPECTS(!exec_time.is_negative());
+  const double kwh = vcpu_power_.to_watts() * exec_time.to_seconds() / 3.6e6;
+  std::vector<RegionScore> out;
+  out.reserve(regions_.size());
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    const auto& r = regions_[i];
+    RegionScore s;
+    s.region_index = i;
+    s.cost_per_invocation = reference_cost * r.price_factor;
+    s.round_trip_overhead = r.extra_latency * 2.0;
+    s.gco2_per_invocation = kwh * r.carbon_gco2_per_kwh;
+    s.score = weights_.money * s.cost_per_invocation.to_usd() +
+              weights_.latency * s.round_trip_overhead.to_seconds() +
+              weights_.carbon * s.gco2_per_invocation;
+    out.push_back(s);
+  }
+  return out;
+}
+
+RegionScore RegionSelector::choose(Money reference_cost,
+                                   Duration exec_time) const {
+  const auto scores = score_all(reference_cost, exec_time);
+  return *std::min_element(scores.begin(), scores.end(),
+                           [](const RegionScore& a, const RegionScore& b) {
+                             return a.score < b.score;
+                           });
+}
+
+}  // namespace ntco::alloc

@@ -1,0 +1,44 @@
+#include "ntco/alloc/warm_pool.hpp"
+
+namespace ntco::alloc {
+
+double erlang_b(std::size_t servers, double offered_load) {
+  NTCO_EXPECTS(offered_load >= 0.0);
+  if (offered_load == 0.0) return servers == 0 ? 1.0 : 0.0;
+  double b = 1.0;  // B(0, a) = 1
+  for (std::size_t n = 1; n <= servers; ++n) {
+    const double k = static_cast<double>(n);
+    b = offered_load * b / (k + offered_load * b);
+  }
+  return b;
+}
+
+WarmPoolPlan WarmPoolPlanner::plan(const Inputs& in) {
+  NTCO_EXPECTS(in.arrivals_per_second >= 0.0);
+  NTCO_EXPECTS(!in.service_time.is_negative());
+  NTCO_EXPECTS(in.target_cold_rate > 0.0 && in.target_cold_rate <= 1.0);
+
+  const double offered = in.arrivals_per_second * in.service_time.to_seconds();
+  const double gb = static_cast<double>(in.memory.count_bytes()) / 1e9;
+
+  if (offered == 0.0) {
+    // No traffic: nothing to keep warm, nothing can go cold.
+    return WarmPoolPlan{0, 0.0, Money::zero()};
+  }
+
+  std::size_t n = 0;
+  double rate = erlang_b(0, offered);
+  while (rate > in.target_cold_rate && n < in.max_instances) {
+    ++n;
+    rate = erlang_b(n, offered);
+  }
+
+  WarmPoolPlan plan;
+  plan.instances = n;
+  plan.predicted_cold_rate = rate;
+  plan.standing_cost_per_hour = in.provisioned_price_per_gb_second *
+                                (gb * static_cast<double>(n) * 3600.0);
+  return plan;
+}
+
+}  // namespace ntco::alloc

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "ntco/app/task_graph.hpp"
+
+/// \file workloads.hpp
+/// The four concrete non-time-critical applications the evaluation uses.
+///
+/// These are the use cases the paper's framing motivates: jobs whose users do
+/// not benefit from edge-grade response times and which can therefore run in
+/// the (cheaper, infinitely elastic) serverless cloud. Demands are calibrated
+/// to the workload classes offloading papers use (OCR, transcoding, model
+/// training, ETL) on a ~1.4 GHz reference core.
+
+namespace ntco::app::workloads {
+
+/// Overnight photo backup with OCR + face indexing. Moderate data,
+/// moderate compute; capture and gallery stages pinned to the UE.
+[[nodiscard]] TaskGraph photo_backup();
+
+/// Batch video transcode of a recorded clip. Heavy data in, heavy compute,
+/// small result. The transfer-dominated end of the spectrum.
+[[nodiscard]] TaskGraph video_transcode();
+
+/// Periodic on-device model personalisation (federated-style local
+/// training). Tiny data, enormous compute: the compute-dominated end.
+[[nodiscard]] TaskGraph ml_batch_training();
+
+/// Nightly report generation over cached application data (ETL + render).
+/// Middle of the spectrum, deeply pipelined.
+[[nodiscard]] TaskGraph nightly_etl();
+
+/// All four, for table-driven experiments.
+[[nodiscard]] std::vector<TaskGraph> all();
+
+}  // namespace ntco::app::workloads

@@ -1,0 +1,94 @@
+#include "ntco/app/workloads.hpp"
+
+namespace ntco::app::workloads {
+
+namespace {
+
+Component comp(std::string name, std::uint64_t megacycles, std::uint64_t mem_mb,
+               std::uint64_t image_mb, bool pinned, double parallel = 0.8) {
+  return Component{std::move(name), Cycles::mega(megacycles),
+                   DataSize::megabytes(mem_mb), DataSize::megabytes(image_mb),
+                   pinned, parallel};
+}
+
+}  // namespace
+
+TaskGraph photo_backup() {
+  TaskGraph g("photo-backup");
+  const auto capture = g.add_component(comp("capture", 20, 64, 5, true));
+  const auto resize = g.add_component(comp("resize", 900, 256, 20, false));
+  const auto ocr = g.add_component(comp("ocr", 6'500, 512, 80, false, 0.85));
+  const auto faces = g.add_component(comp("face-index", 9'000, 768, 120, false, 0.9));
+  const auto dedupe = g.add_component(comp("dedupe", 1'200, 256, 15, false));
+  const auto gallery = g.add_component(comp("gallery-update", 60, 96, 5, true));
+  g.add_flow(capture, resize, DataSize::megabytes(4));   // raw photo
+  g.add_flow(resize, ocr, DataSize::kilobytes(900));     // normalised image
+  g.add_flow(resize, faces, DataSize::kilobytes(900));
+  g.add_flow(ocr, dedupe, DataSize::kilobytes(40));      // extracted text
+  g.add_flow(faces, dedupe, DataSize::kilobytes(25));    // embeddings
+  g.add_flow(dedupe, gallery, DataSize::kilobytes(12));  // index delta
+  return g;
+}
+
+TaskGraph video_transcode() {
+  TaskGraph g("video-transcode");
+  const auto record = g.add_component(comp("record", 40, 128, 5, true));
+  const auto demux = g.add_component(comp("demux", 700, 256, 15, false, 0.3));
+  const auto decode = g.add_component(comp("decode", 14'000, 768, 40, false, 0.9));
+  const auto filter = g.add_component(comp("filter", 8'000, 512, 30, false, 0.95));
+  const auto encode = g.add_component(comp("encode", 30'000, 1024, 50, false, 0.9));
+  const auto publish = g.add_component(comp("publish", 80, 96, 5, true));
+  g.add_flow(record, demux, DataSize::megabytes(120));  // 1 min 1080p clip
+  g.add_flow(demux, decode, DataSize::megabytes(118));
+  g.add_flow(decode, filter, DataSize::megabytes(60));  // sampled frames
+  g.add_flow(filter, encode, DataSize::megabytes(60));
+  g.add_flow(encode, publish, DataSize::megabytes(35));  // 720p output
+  return g;
+}
+
+TaskGraph ml_batch_training() {
+  TaskGraph g("ml-batch-training");
+  const auto collect = g.add_component(comp("collect", 120, 128, 5, true));
+  const auto featurise = g.add_component(comp("featurise", 2'500, 384, 35, false));
+  const auto train = g.add_component(comp("train", 180'000, 2048, 150, false, 0.95));
+  const auto validate = g.add_component(comp("validate", 9'000, 512, 40, false, 0.9));
+  const auto compress = g.add_component(comp("compress-model", 1'500, 256, 20, false));
+  const auto install = g.add_component(comp("install-model", 90, 96, 5, true));
+  g.add_flow(collect, featurise, DataSize::megabytes(6));   // event log
+  g.add_flow(featurise, train, DataSize::megabytes(2));     // feature matrix
+  g.add_flow(train, validate, DataSize::megabytes(8));      // checkpoint
+  g.add_flow(train, compress, DataSize::megabytes(8));
+  g.add_flow(validate, compress, DataSize::kilobytes(4));   // metrics gate
+  g.add_flow(compress, install, DataSize::megabytes(2));    // quantised model
+  return g;
+}
+
+TaskGraph nightly_etl() {
+  TaskGraph g("nightly-etl");
+  const auto dump = g.add_component(comp("dump", 150, 128, 5, true));
+  const auto clean = g.add_component(comp("clean", 3'000, 512, 25, false));
+  const auto join = g.add_component(comp("join", 7'500, 1024, 35, false, 0.85));
+  const auto aggregate = g.add_component(comp("aggregate", 5'500, 768, 30, false));
+  const auto forecast = g.add_component(comp("forecast", 22'000, 1024, 90, false, 0.7));
+  const auto render = g.add_component(comp("render-report", 2'000, 384, 45, false));
+  const auto notify = g.add_component(comp("notify", 30, 64, 5, true));
+  g.add_flow(dump, clean, DataSize::megabytes(25));
+  g.add_flow(clean, join, DataSize::megabytes(18));
+  g.add_flow(join, aggregate, DataSize::megabytes(9));
+  g.add_flow(aggregate, forecast, DataSize::megabytes(2));
+  g.add_flow(aggregate, render, DataSize::megabytes(3));
+  g.add_flow(forecast, render, DataSize::kilobytes(600));
+  g.add_flow(render, notify, DataSize::kilobytes(300));
+  return g;
+}
+
+std::vector<TaskGraph> all() {
+  std::vector<TaskGraph> v;
+  v.push_back(photo_backup());
+  v.push_back(video_transcode());
+  v.push_back(ml_batch_training());
+  v.push_back(nightly_etl());
+  return v;
+}
+
+}  // namespace ntco::app::workloads

@@ -1,0 +1,174 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ntco/common/rng.hpp"
+#include "ntco/core/controller.hpp"
+#include "ntco/profile/profiler.hpp"
+
+/// \file pipeline.hpp
+/// Offloading integrated into a CI/CD release process (the abstract's
+/// fourth contribution).
+///
+/// A release runs Build -> Test -> Package -> Profile -> Partition+Allocate
+/// -> Deploy -> Canary -> Promote/Rollback. The profile stage collects
+/// instrumented runs and builds the estimated graph; the partition stage is
+/// core::OffloadController::prepare(); the canary executes the candidate
+/// plan alongside the incumbent on live-like traffic and only promotes if
+/// the measured objective does not regress beyond tolerance. DriftWatcher
+/// glues the drift detector to release triggering for continuous
+/// re-partitioning in operation.
+
+namespace ntco::cicd {
+
+/// Pipeline stage outcome.
+struct StageRecord {
+  std::string name;
+  Duration duration;
+  bool ok = true;
+  std::string detail;
+};
+
+/// Pipeline knobs.
+struct PipelineConfig {
+  Duration build_time = Duration::minutes(3);
+  Duration test_time = Duration::minutes(5);
+  Duration package_time = Duration::minutes(1);
+  /// Probability a release fails in the test stage (exercises the abort
+  /// path; deterministic 0 by default).
+  double test_failure_rate = 0.0;
+
+  /// Instrumented runs collected by the profile stage.
+  std::size_t profile_runs = 40;
+  /// Run-to-run demand variation the instrumentation observes.
+  double profile_cv = 0.3;
+  /// Wall time per instrumented run (profiling throughput).
+  Duration time_per_profile_run = Duration::seconds(30);
+
+  /// Canary executions of candidate and incumbent each.
+  std::size_t canary_runs = 10;
+  /// Candidate may be at most this much worse than the incumbent on the
+  /// measured objective and still promote.
+  double regression_tolerance = 0.10;
+};
+
+/// Outcome of one release.
+struct ReleaseReport {
+  std::vector<StageRecord> stages;
+  bool promoted = false;
+  bool aborted = false;  ///< stopped before canary (test failure)
+  double candidate_objective = 0.0;  ///< measured mean objective in canary
+  double incumbent_objective = 0.0;  ///< 0 when there is no incumbent
+  std::optional<core::DeploymentPlan> plan;  ///< set when promoted
+  Duration total_duration;
+
+  [[nodiscard]] const StageRecord* stage(const std::string& name) const;
+};
+
+/// Orchestrates releases of one application through the offloading-aware
+/// pipeline.
+class ReleasePipeline {
+ public:
+  ReleasePipeline(sim::Simulator& sim, core::OffloadController& controller,
+                  PipelineConfig cfg, Rng rng);
+
+  /// Runs one release against `truth` (the application's real behaviour)
+  /// using `partitioner`. `incumbent` is the currently promoted plan, if
+  /// any. `profile_bias` models a systematically wrong profile (1.0 =
+  /// faithful); the canary stage is what catches plans built from bad
+  /// profiles. Drives the simulator synchronously until the release
+  /// finishes.
+  [[nodiscard]] ReleaseReport run_release(
+      const app::TaskGraph& truth, const partition::Partitioner& partitioner,
+      const core::DeploymentPlan* incumbent, double profile_bias = 1.0);
+
+  /// Objective scalarisation used to judge canaries: the controller's
+  /// objective weights applied to measured makespan/energy/money.
+  [[nodiscard]] double measured_objective(
+      const core::ExecutionReport& r) const;
+
+ private:
+  sim::Simulator& sim_;
+  core::OffloadController& controller_;
+  PipelineConfig cfg_;
+  Rng rng_;
+
+  void wait(Duration d);  ///< advances simulated time synchronously
+};
+
+/// Measured-objective scalarisation shared by the canary and rollout
+/// gates: the controller's weights applied to a run's measured totals.
+[[nodiscard]] double measured_objective(const partition::Objective& weights,
+                                        const core::ExecutionReport& r);
+
+/// Progressive (blue/green) rollout: instead of a single canary verdict,
+/// traffic shifts to the candidate in steps (e.g. 5% -> 25% -> 50% ->
+/// 100%), each step gated on the measured objective. A regression aborts
+/// the rollout at the *current* traffic share, bounding the blast radius —
+/// the production-grade variant of the pipeline's canary stage.
+class ProgressiveRollout {
+ public:
+  struct Config {
+    std::vector<double> traffic_steps{0.05, 0.25, 0.50, 1.00};
+    /// Executions per step (split candidate/incumbent by traffic share,
+    /// each side getting at least one run).
+    std::size_t runs_per_step = 20;
+    /// Candidate may be at most this much worse at any step.
+    double abort_tolerance = 0.10;
+  };
+
+  struct StepRecord {
+    double traffic = 0.0;
+    std::size_t candidate_runs = 0;
+    std::size_t incumbent_runs = 0;
+    double candidate_objective = 0.0;
+    double incumbent_objective = 0.0;
+    bool passed = false;
+  };
+
+  struct Report {
+    std::vector<StepRecord> steps;
+    bool completed = false;  ///< candidate reached 100% traffic
+    /// Share of production runs that hit the bad candidate before the
+    /// abort (the bounded blast radius); 0 for completed rollouts.
+    double exposure = 0.0;
+  };
+
+  ProgressiveRollout(core::OffloadController& controller, Config cfg);
+
+  /// Rolls `candidate` out against `incumbent` on live traffic of `truth`.
+  [[nodiscard]] Report roll(const app::TaskGraph& truth,
+                            const core::DeploymentPlan& candidate,
+                            const core::DeploymentPlan& incumbent);
+
+ private:
+  core::OffloadController& controller_;
+  Config cfg_;
+};
+
+/// Watches a production demand stream and reports when a release should be
+/// triggered because the workload drifted from what the promoted plan was
+/// partitioned for.
+class DriftWatcher {
+ public:
+  DriftWatcher(double threshold, std::size_t window)
+      : detector_(threshold, window) {}
+
+  /// Feeds one production run's total demand; true if a re-release is due.
+  bool observe_run(Cycles total_demand) { return detector_.observe(total_demand); }
+
+  /// Acknowledges the triggered release (re-baselines on current demand).
+  void acknowledge() { detector_.reset_baseline(); }
+
+  [[nodiscard]] bool pending() const { return detector_.drifted(); }
+  [[nodiscard]] double relative_change() const {
+    return detector_.relative_change();
+  }
+
+ private:
+  profile::DriftDetector detector_;
+};
+
+}  // namespace ntco::cicd

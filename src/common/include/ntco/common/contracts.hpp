@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "ntco/common/error.hpp"
+
+/// \file contracts.hpp
+/// Throwing precondition / postcondition macros (Core Guidelines I.6, I.8).
+///
+/// Contracts throw ntco::ContractViolation instead of aborting so that unit
+/// tests can verify that invalid use is rejected, and so that a long-running
+/// simulation driver can recover from one malformed scenario.
+
+namespace ntco::detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+
+}  // namespace ntco::detail
+
+#define NTCO_EXPECTS(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ntco::detail::contract_fail("precondition", #cond, __FILE__,       \
+                                    __LINE__);                             \
+  } while (false)
+
+#define NTCO_ENSURES(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ntco::detail::contract_fail("postcondition", #cond, __FILE__,      \
+                                    __LINE__);                             \
+  } while (false)

@@ -1,0 +1,59 @@
+#include "ntco/common/units.hpp"
+
+#include <cstdio>
+
+namespace ntco {
+
+namespace {
+
+std::string format(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Duration d) {
+  const auto us = d.count_micros();
+  const double a = static_cast<double>(us < 0 ? -us : us);
+  std::string s;
+  if (a < 1e3)
+    s = format("%.0f us", static_cast<double>(us));
+  else if (a < 1e6)
+    s = format("%.2f ms", static_cast<double>(us) / 1e3);
+  else if (a < 60e6)
+    s = format("%.2f s", static_cast<double>(us) / 1e6);
+  else
+    s = format("%.2f min", static_cast<double>(us) / 60e6);
+  return s;
+}
+
+std::string to_string(DataSize s) {
+  const auto b = s.count_bytes();
+  if (b < 1'000) return format("%.0f B", static_cast<double>(b));
+  if (b < 1'000'000) return format("%.2f KB", static_cast<double>(b) / 1e3);
+  if (b < 1'000'000'000ULL)
+    return format("%.2f MB", static_cast<double>(b) / 1e6);
+  return format("%.2f GB", static_cast<double>(b) / 1e9);
+}
+
+std::string to_string(Cycles c) {
+  const auto v = c.value();
+  if (v < 1'000'000) return format("%.0f cyc", static_cast<double>(v));
+  if (v < 1'000'000'000ULL)
+    return format("%.2f Mcyc", static_cast<double>(v) / 1e6);
+  return format("%.2f Gcyc", static_cast<double>(v) / 1e9);
+}
+
+std::string to_string(Money m) { return format("$%.6f", m.to_usd()); }
+
+std::string to_string(Energy e) {
+  const auto uj = e.count_microjoules();
+  const double a = static_cast<double>(uj < 0 ? -uj : uj);
+  if (a < 1e3) return format("%.0f uJ", static_cast<double>(uj));
+  if (a < 1e6) return format("%.2f mJ", static_cast<double>(uj) / 1e3);
+  return format("%.2f J", static_cast<double>(uj) / 1e6);
+}
+
+}  // namespace ntco

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <string>
+
+#include "ntco/common/contracts.hpp"
+#include "ntco/common/units.hpp"
+
+/// \file device.hpp
+/// User Equipment (UE) model: compute capability and the MAUI-style energy
+/// model the partitioners optimise against.
+///
+///   E = P_cpu · t_compute + P_tx · t_tx + P_rx · t_rx + P_idle · t_wait
+///
+/// Offloading saves energy exactly when the compute energy avoided exceeds
+/// the radio energy spent shipping state plus the idle energy burnt waiting
+/// for the result.
+
+namespace ntco::device {
+
+/// Static description of a UE.
+struct DeviceSpec {
+  std::string name;
+  Frequency cpu;      ///< effective single-thread clock available to the app
+  Power cpu_active;   ///< draw while computing
+  Power idle;         ///< draw while waiting (screen-on idle)
+  Power radio_tx;     ///< draw while transmitting
+  Power radio_rx;     ///< draw while receiving
+  Energy battery;     ///< usable battery capacity
+};
+
+/// A UE with battery accounting. Time/energy queries are pure; `drain`
+/// mutates the remaining charge.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec) : spec_(std::move(spec)) {
+    NTCO_EXPECTS(!spec_.cpu.is_zero());
+    NTCO_EXPECTS(spec_.battery > Energy::zero());
+    remaining_ = spec_.battery;
+  }
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+
+  /// Local execution time for `work`.
+  [[nodiscard]] Duration exec_time(Cycles work) const {
+    return work / spec_.cpu;
+  }
+
+  /// Energy to execute `work` locally.
+  [[nodiscard]] Energy exec_energy(Cycles work) const {
+    return spec_.cpu_active * exec_time(work);
+  }
+
+  [[nodiscard]] Energy tx_energy(Duration t) const {
+    NTCO_EXPECTS(!t.is_negative());
+    return spec_.radio_tx * t;
+  }
+  [[nodiscard]] Energy rx_energy(Duration t) const {
+    NTCO_EXPECTS(!t.is_negative());
+    return spec_.radio_rx * t;
+  }
+  [[nodiscard]] Energy idle_energy(Duration t) const {
+    NTCO_EXPECTS(!t.is_negative());
+    return spec_.idle * t;
+  }
+
+  /// Remaining battery charge.
+  [[nodiscard]] Energy battery_remaining() const { return remaining_; }
+
+  /// Fraction of battery left, in [0, 1].
+  [[nodiscard]] double battery_fraction() const {
+    return remaining_.to_joules() / spec_.battery.to_joules();
+  }
+
+  /// Consumes charge; clamps at empty. Returns false if the battery was
+  /// exhausted by this drain.
+  bool drain(Energy e) {
+    NTCO_EXPECTS(e >= Energy::zero());
+    if (e >= remaining_) {
+      remaining_ = Energy::zero();
+      return false;
+    }
+    remaining_ = remaining_ - e;
+    return true;
+  }
+
+  void recharge() { remaining_ = spec_.battery; }
+
+ private:
+  DeviceSpec spec_;
+  Energy remaining_;
+};
+
+/// Presets bracketing the UE space offloading papers consider. Battery
+/// capacities are typical pack energies (e.g. 3000 mAh @ 3.85 V ≈ 41.6 kJ).
+[[nodiscard]] DeviceSpec budget_phone();
+[[nodiscard]] DeviceSpec flagship_phone();
+[[nodiscard]] DeviceSpec iot_node();
+[[nodiscard]] DeviceSpec laptop();
+
+}  // namespace ntco::device

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <vector>
+
+#include "ntco/common/contracts.hpp"
+#include "ntco/device/device.hpp"
+
+/// \file dvfs.hpp
+/// Dynamic voltage/frequency scaling on the UE.
+///
+/// Offloading papers are routinely criticised for comparing against a
+/// max-frequency local baseline; a DVFS-tuned device is the honest
+/// comparator (bench A4). Power grows superlinearly with frequency, so for
+/// a job with a deadline there is an energy-optimal operating point:
+/// E(f) = P_active(f) * t(f) + P_idle * (deadline - t(f)), minimised over
+/// the feasible levels (race-to-idle accounting over the deadline window).
+
+namespace ntco::device {
+
+/// One DVFS operating point.
+struct FrequencyLevel {
+  Frequency freq;
+  Power active_power;
+};
+
+/// The selectable operating points of a UE, ordered by frequency.
+struct DvfsTable {
+  std::vector<FrequencyLevel> levels;
+
+  /// Validated table: non-empty, strictly increasing frequency and power.
+  static DvfsTable validated(std::vector<FrequencyLevel> levels);
+};
+
+/// Typical big-core DVFS ladder for the budget phone (1.4 GHz nominal).
+[[nodiscard]] DvfsTable budget_phone_dvfs();
+
+/// Outcome of a governor decision.
+struct DvfsChoice {
+  FrequencyLevel level;
+  Duration exec_time;
+  Energy energy;  ///< active + idle-to-deadline energy over the window
+  bool feasible = true;
+};
+
+/// Deadline-aware energy-optimal level selection.
+class DvfsGovernor {
+ public:
+  DvfsGovernor(DeviceSpec base, DvfsTable table)
+      : base_(std::move(base)), table_(std::move(table)) {
+    NTCO_EXPECTS(!table_.levels.empty());
+  }
+
+  /// Energy of running `work` at `level`, idling out the rest of the
+  /// `window` (race-to-idle). Pre: the work fits in the window or the
+  /// caller tolerates energy of the overlong execution without idle tail.
+  [[nodiscard]] DvfsChoice evaluate(const FrequencyLevel& level, Cycles work,
+                                    Duration window) const;
+
+  /// Minimum-energy level whose execution meets the `window`. If none
+  /// fits, returns the fastest level with feasible == false.
+  [[nodiscard]] DvfsChoice energy_optimal(Cycles work,
+                                          Duration window) const;
+
+  /// The base device spec re-parameterised to a level (for building
+  /// partitioning environments with a DVFS-tuned local side).
+  [[nodiscard]] DeviceSpec spec_at(const FrequencyLevel& level) const;
+
+  [[nodiscard]] const DvfsTable& table() const { return table_; }
+
+ private:
+  DeviceSpec base_;
+  DvfsTable table_;
+};
+
+}  // namespace ntco::device

@@ -1,0 +1,45 @@
+#include "ntco/device/device.hpp"
+
+namespace ntco::device {
+
+DeviceSpec budget_phone() {
+  return {"budget-phone",
+          Frequency::gigahertz(1.4),
+          Power::watts(1.8),
+          Power::watts(0.35),
+          Power::watts(1.2),
+          Power::watts(0.9),
+          Energy::joules(32'000)};  // ~2300 mAh @ 3.85 V
+}
+
+DeviceSpec flagship_phone() {
+  return {"flagship-phone",
+          Frequency::gigahertz(2.8),
+          Power::watts(3.5),
+          Power::watts(0.45),
+          Power::watts(1.4),
+          Power::watts(1.0),
+          Energy::joules(69'000)};  // ~5000 mAh @ 3.85 V
+}
+
+DeviceSpec iot_node() {
+  return {"iot-node",
+          Frequency::megahertz(400),
+          Power::watts(0.5),
+          Power::watts(0.05),
+          Power::watts(0.7),
+          Power::watts(0.5),
+          Energy::joules(9'000)};  // small LiPo cell
+}
+
+DeviceSpec laptop() {
+  return {"laptop",
+          Frequency::gigahertz(3.2),
+          Power::watts(15.0),
+          Power::watts(4.0),
+          Power::watts(2.5),
+          Power::watts(2.0),
+          Energy::joules(180'000)};  // ~50 Wh pack
+}
+
+}  // namespace ntco::device

@@ -1,0 +1,72 @@
+#include "ntco/device/dvfs.hpp"
+
+#include "ntco/common/error.hpp"
+
+namespace ntco::device {
+
+DvfsTable DvfsTable::validated(std::vector<FrequencyLevel> levels) {
+  if (levels.empty()) throw ConfigError("DVFS table must be non-empty");
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i].freq.is_zero())
+      throw ConfigError("DVFS level frequency must be positive");
+    if (i > 0) {
+      if (levels[i].freq <= levels[i - 1].freq ||
+          levels[i].active_power <= levels[i - 1].active_power)
+        throw ConfigError(
+            "DVFS levels must strictly increase in frequency and power");
+    }
+  }
+  return DvfsTable{std::move(levels)};
+}
+
+DvfsTable budget_phone_dvfs() {
+  // Roughly cubic power growth across the ladder; the 1.4 GHz point
+  // matches budget_phone()'s nominal spec.
+  return DvfsTable::validated({
+      {Frequency::megahertz(600), Power::watts(0.55)},
+      {Frequency::megahertz(900), Power::watts(0.95)},
+      {Frequency::megahertz(1400), Power::watts(1.8)},
+      {Frequency::megahertz(2000), Power::watts(3.6)},
+  });
+}
+
+DvfsChoice DvfsGovernor::evaluate(const FrequencyLevel& level, Cycles work,
+                                  Duration window) const {
+  NTCO_EXPECTS(!window.is_negative());
+  DvfsChoice c;
+  c.level = level;
+  c.exec_time = work / level.freq;
+  c.feasible = c.exec_time <= window;
+  const Duration idle_tail =
+      c.feasible ? window - c.exec_time : Duration::zero();
+  c.energy = level.active_power * c.exec_time + base_.idle * idle_tail;
+  return c;
+}
+
+DvfsChoice DvfsGovernor::energy_optimal(Cycles work, Duration window) const {
+  DvfsChoice best;
+  bool have = false;
+  DvfsChoice fastest = evaluate(table_.levels.back(), work, window);
+  for (const auto& level : table_.levels) {
+    const DvfsChoice c = evaluate(level, work, window);
+    if (!c.feasible) continue;
+    if (!have || c.energy < best.energy) {
+      best = c;
+      have = true;
+    }
+  }
+  if (!have) {
+    fastest.feasible = false;
+    return fastest;
+  }
+  return best;
+}
+
+DeviceSpec DvfsGovernor::spec_at(const FrequencyLevel& level) const {
+  DeviceSpec spec = base_;
+  spec.cpu = level.freq;
+  spec.cpu_active = level.active_power;
+  return spec;
+}
+
+}  // namespace ntco::device

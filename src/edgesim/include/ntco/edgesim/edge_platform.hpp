@@ -1,0 +1,119 @@
+#pragma once
+
+#include <functional>
+
+#include "ntco/common/contracts.hpp"
+#include "ntco/common/error.hpp"
+#include "ntco/common/units.hpp"
+#include "ntco/sim/server_pool.hpp"
+#include "ntco/sim/simulator.hpp"
+
+/// \file edge_platform.hpp
+/// Edge-computing comparator: a small on-premise site with a fixed pool of
+/// servers reachable over a LAN.
+///
+/// Two properties make this the foil for the paper's argument:
+///  - capacity is finite, so load beyond `servers` queues (latency collapses
+///    exactly where the serverless cloud keeps scaling), and
+///  - the infrastructure bills by existing, not by use: cost accrues per
+///    server-hour whether or not anything runs, which is the "required
+///    infrastructure" drawback the abstract cites.
+
+namespace ntco::edgesim {
+
+/// Static description of one edge site.
+struct EdgeConfig {
+  std::size_t servers = 4;
+  Frequency server_speed = Frequency::gigahertz(3.0);
+  /// Amortised capex + opex per server-hour, billed on wall time.
+  Money infra_cost_per_server_hour = Money::from_usd(0.12);
+  /// Per-request dispatch overhead (container routing and setup).
+  Duration request_overhead = Duration::millis(2);
+};
+
+/// Outcome of one edge job.
+struct EdgeResult {
+  TimePoint submitted;
+  TimePoint started;
+  TimePoint finished;
+  Duration queue_wait;
+  Duration exec_time;
+};
+
+/// Aggregate edge-site accounting.
+struct EdgeStats {
+  std::uint64_t jobs = 0;
+  Duration total_exec;
+  Duration total_queue_wait;
+};
+
+/// Fixed-capacity edge site. Jobs queue FIFO for a free server.
+class EdgePlatform {
+ public:
+  using Callback = std::function<void(const EdgeResult&)>;
+
+  EdgePlatform(sim::Simulator& sim, EdgeConfig cfg)
+      : sim_(sim), cfg_(cfg), pool_(sim, cfg.servers), opened_(sim.now()) {
+    if (cfg.server_speed.is_zero())
+      throw ConfigError("edge server_speed must be positive");
+  }
+
+  EdgePlatform(const EdgePlatform&) = delete;
+  EdgePlatform& operator=(const EdgePlatform&) = delete;
+
+  /// Execution time of `work` on one edge server (excludes overhead).
+  [[nodiscard]] Duration exec_time(Cycles work) const {
+    return work / cfg_.server_speed;
+  }
+
+  /// Queues `work`; `done` fires on completion.
+  void submit(Cycles work, Callback done) {
+    NTCO_EXPECTS(done != nullptr);
+    const TimePoint submitted = sim_.now();
+    const Duration service = cfg_.request_overhead + exec_time(work);
+    const Duration exec = exec_time(work);
+    pool_.submit(service, [this, submitted, exec,
+                           done = std::move(done)](TimePoint started) {
+      EdgeResult r;
+      r.submitted = submitted;
+      r.started = started;
+      r.finished = sim_.now();
+      r.queue_wait = started - submitted;
+      r.exec_time = exec;
+      ++stats_.jobs;
+      stats_.total_exec += exec;
+      stats_.total_queue_wait += r.queue_wait;
+      done(r);
+    });
+  }
+
+  /// Standing infrastructure cost accrued from site opening to sim-now:
+  /// servers x elapsed x hourly rate, independent of utilisation.
+  [[nodiscard]] Money infrastructure_cost() const {
+    const double hours = (sim_.now() - opened_).to_seconds() / 3600.0;
+    return cfg_.infra_cost_per_server_hour *
+           (hours * static_cast<double>(cfg_.servers));
+  }
+
+  /// Busy-time share of total server capacity since opening, in [0, 1].
+  [[nodiscard]] double utilization() const {
+    const Duration elapsed = sim_.now() - opened_;
+    if (elapsed.is_zero()) return 0.0;
+    return pool_.total_busy_time().to_seconds() /
+           (elapsed.to_seconds() * static_cast<double>(cfg_.servers));
+  }
+
+  [[nodiscard]] const EdgeStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queued() const { return pool_.queued(); }
+  [[nodiscard]] std::size_t busy() const { return pool_.busy(); }
+  [[nodiscard]] const EdgeConfig& config() const { return cfg_; }
+
+ private:
+  sim::Simulator& sim_;
+  EdgeConfig cfg_;
+  sim::ServerPool pool_;
+  TimePoint opened_;
+  EdgeStats stats_;
+};
+
+}  // namespace ntco::edgesim

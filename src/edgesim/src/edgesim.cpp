@@ -1,0 +1,2 @@
+// Header-only module; see edge_platform.hpp.
+#include "ntco/edgesim/edge_platform.hpp"

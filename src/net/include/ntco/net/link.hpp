@@ -1,0 +1,177 @@
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "ntco/common/contracts.hpp"
+#include "ntco/common/rng.hpp"
+#include "ntco/common/units.hpp"
+
+/// \file link.hpp
+/// One-way network link models.
+///
+/// A transfer of `size` over a link costs one-way latency plus serialisation
+/// at the (possibly time-varying) achievable rate. Links are stateful: the
+/// stochastic variants consume randomness and the Markov variant remembers
+/// its channel state, so the sampling member functions are non-const.
+
+namespace ntco::net {
+
+/// Cumulative per-link accounting, exposed for utilisation and energy maths.
+struct LinkStats {
+  std::uint64_t transfers = 0;
+  DataSize bytes_moved;
+  Duration time_busy;  ///< total serialisation + latency time accumulated
+};
+
+/// Abstract one-way link.
+class Link {
+ public:
+  virtual ~Link() = default;
+
+  /// Samples the one-way propagation latency for the next transfer.
+  [[nodiscard]] virtual Duration sample_latency() = 0;
+
+  /// Samples the achievable throughput for the next transfer.
+  [[nodiscard]] virtual DataRate sample_rate() = 0;
+
+  /// Nominal (configured) throughput, for reporting.
+  [[nodiscard]] virtual DataRate nominal_rate() const = 0;
+
+  /// Nominal one-way latency, for reporting.
+  [[nodiscard]] virtual Duration nominal_latency() const = 0;
+
+  /// Time to move `size` one way: sampled latency + serialisation at the
+  /// sampled rate. Records stats. Zero-size transfers still pay latency
+  /// (the request header has to travel).
+  [[nodiscard]] Duration transfer_time(DataSize size) {
+    const Duration lat = sample_latency();
+    const DataRate rate = sample_rate();
+    NTCO_ENSURES(!lat.is_negative());
+    NTCO_ENSURES(!rate.is_zero());
+    const Duration total = lat + size / rate;
+    ++stats_.transfers;
+    stats_.bytes_moved += size;
+    stats_.time_busy += total;
+    return total;
+  }
+
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+
+ private:
+  LinkStats stats_;
+};
+
+/// Deterministic link: constant latency and rate. The baseline model and
+/// the one analytic cost models reason about.
+class FixedLink final : public Link {
+ public:
+  FixedLink(Duration latency, DataRate rate) : latency_(latency), rate_(rate) {
+    NTCO_EXPECTS(!latency.is_negative());
+    NTCO_EXPECTS(!rate.is_zero());
+  }
+
+  [[nodiscard]] Duration sample_latency() override { return latency_; }
+  [[nodiscard]] DataRate sample_rate() override { return rate_; }
+  [[nodiscard]] DataRate nominal_rate() const override { return rate_; }
+  [[nodiscard]] Duration nominal_latency() const override { return latency_; }
+
+ private:
+  Duration latency_;
+  DataRate rate_;
+};
+
+/// Stochastic link: log-normally distributed latency around a median and
+/// normally jittered rate, matching measured WAN behaviour closely enough
+/// for trend studies.
+class StochasticLink final : public Link {
+ public:
+  /// `latency_sigma` is the sigma of the underlying normal of the log-normal
+  /// latency (0.25 ≈ mild jitter, 1.0 ≈ heavy tail). `rate_cv` is the
+  /// coefficient of variation of the rate (truncated at ±3σ and 5% floor).
+  StochasticLink(Duration median_latency, double latency_sigma, DataRate rate,
+                 double rate_cv, Rng rng)
+      : median_latency_(median_latency),
+        latency_sigma_(latency_sigma),
+        rate_(rate),
+        rate_cv_(rate_cv),
+        rng_(rng) {
+    NTCO_EXPECTS(!median_latency.is_negative());
+    NTCO_EXPECTS(latency_sigma >= 0.0);
+    NTCO_EXPECTS(!rate.is_zero());
+    NTCO_EXPECTS(rate_cv >= 0.0 && rate_cv < 0.34);
+  }
+
+  [[nodiscard]] Duration sample_latency() override {
+    const double factor = rng_.lognormal(0.0, latency_sigma_);
+    return median_latency_ * factor;
+  }
+
+  [[nodiscard]] DataRate sample_rate() override {
+    double factor = rng_.normal(1.0, rate_cv_);
+    factor = std::max(0.05, std::min(factor, 1.0 + 3.0 * rate_cv_));
+    return rate_ * factor;
+  }
+
+  [[nodiscard]] DataRate nominal_rate() const override { return rate_; }
+  [[nodiscard]] Duration nominal_latency() const override {
+    return median_latency_;
+  }
+
+ private:
+  Duration median_latency_;
+  double latency_sigma_;
+  DataRate rate_;
+  double rate_cv_;
+  Rng rng_;
+};
+
+/// Two-state Markov-modulated link (Gilbert–Elliott style): GOOD delivers
+/// the nominal rate, BAD a degraded fraction of it. Each sample advances the
+/// chain, producing bursty throughput typical of cellular uplinks.
+class MarkovLink final : public Link {
+ public:
+  /// `p_good_to_bad` / `p_bad_to_good` are per-sample transition
+  /// probabilities; `bad_fraction` scales the rate in the BAD state.
+  MarkovLink(Duration latency, DataRate good_rate, double bad_fraction,
+             double p_good_to_bad, double p_bad_to_good, Rng rng)
+      : latency_(latency),
+        good_rate_(good_rate),
+        bad_fraction_(bad_fraction),
+        p_gb_(p_good_to_bad),
+        p_bg_(p_bad_to_good),
+        rng_(rng) {
+    NTCO_EXPECTS(!latency.is_negative());
+    NTCO_EXPECTS(!good_rate.is_zero());
+    NTCO_EXPECTS(bad_fraction > 0.0 && bad_fraction <= 1.0);
+    NTCO_EXPECTS(p_good_to_bad >= 0.0 && p_good_to_bad <= 1.0);
+    NTCO_EXPECTS(p_bad_to_good >= 0.0 && p_bad_to_good <= 1.0);
+  }
+
+  [[nodiscard]] Duration sample_latency() override { return latency_; }
+
+  [[nodiscard]] DataRate sample_rate() override {
+    if (good_) {
+      if (rng_.bernoulli(p_gb_)) good_ = false;
+    } else {
+      if (rng_.bernoulli(p_bg_)) good_ = true;
+    }
+    return good_ ? good_rate_ : good_rate_ * bad_fraction_;
+  }
+
+  [[nodiscard]] DataRate nominal_rate() const override { return good_rate_; }
+  [[nodiscard]] Duration nominal_latency() const override { return latency_; }
+  [[nodiscard]] bool in_good_state() const { return good_; }
+
+ private:
+  Duration latency_;
+  DataRate good_rate_;
+  double bad_fraction_;
+  double p_gb_;
+  double p_bg_;
+  Rng rng_;
+  bool good_ = true;
+};
+
+}  // namespace ntco::net

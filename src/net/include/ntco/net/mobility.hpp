@@ -1,0 +1,109 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ntco/common/contracts.hpp"
+#include "ntco/net/path.hpp"
+
+/// \file mobility.hpp
+/// Time-varying connectivity: the UE moves through a repeating daily
+/// schedule of network phases (home WiFi, cellular commute, office WiFi,
+/// ...). Delay-tolerant transfers can exploit this: waiting for the next
+/// WiFi phase avoids cellular data charges and cuts radio energy, which is
+/// exactly the kind of win only non-time-critical workloads can harvest
+/// (see sched::UploadPlanner and bench F10).
+
+namespace ntco::net {
+
+/// One phase of the connectivity schedule.
+struct ConnectivityPhase {
+  TechProfile tech;
+  Duration duration;
+  /// Marginal user cost of data moved in this phase (cellular tariffs;
+  /// zero on WiFi).
+  Money data_price_per_gb;
+};
+
+/// Cyclic connectivity schedule (typically one day long).
+class MobilitySchedule {
+ public:
+  explicit MobilitySchedule(std::vector<ConnectivityPhase> phases);
+
+  [[nodiscard]] Duration cycle_length() const { return cycle_; }
+  [[nodiscard]] std::size_t phase_count() const { return phases_.size(); }
+
+  /// Phase in effect at absolute time `t` (cyclic).
+  [[nodiscard]] const ConnectivityPhase& phase_at(TimePoint t) const;
+
+  /// Start of the earliest phase at or after `from` satisfying `pred`
+  /// (the current phase counts if it satisfies it, returning `from`).
+  /// Searches at most two full cycles; nullopt if nothing matches.
+  [[nodiscard]] std::optional<TimePoint> next_matching(
+      TimePoint from,
+      const std::function<bool(const ConnectivityPhase&)>& pred) const;
+
+  /// Time remaining in the phase containing `t`.
+  [[nodiscard]] Duration remaining_in_phase(TimePoint t) const;
+
+  /// Commuter preset: home WiFi 00-08, 4G commute 08-09, office WiFi
+  /// 09-17, 4G commute 17-18, home WiFi 18-24. Cellular data at
+  /// `cellular_price_per_gb` (default $4/GB).
+  [[nodiscard]] static MobilitySchedule commuter_day(
+      Money cellular_price_per_gb = Money::from_usd(4.0));
+
+ private:
+  /// Index of the phase containing offset `o` in [0, cycle).
+  [[nodiscard]] std::size_t index_at(Duration offset) const;
+
+  std::vector<ConnectivityPhase> phases_;
+  std::vector<Duration> starts_;  ///< phase start offsets within the cycle
+  Duration cycle_;
+};
+
+/// Link whose latency/rate follow a MobilitySchedule, read at the simulated
+/// time supplied by `clock` (usually [&sim]{ return sim.now(); }).
+class MobileLink final : public Link {
+ public:
+  MobileLink(const MobilitySchedule& schedule, bool uplink,
+             std::function<TimePoint()> clock)
+      : schedule_(schedule), uplink_(uplink), clock_(std::move(clock)) {
+    NTCO_EXPECTS(clock_ != nullptr);
+  }
+
+  [[nodiscard]] Duration sample_latency() override {
+    return current().tech.one_way_latency;
+  }
+  [[nodiscard]] DataRate sample_rate() override {
+    const auto& t = current().tech;
+    return uplink_ ? t.uplink : t.downlink;
+  }
+  [[nodiscard]] DataRate nominal_rate() const override {
+    const auto& t = schedule_.phase_at(TimePoint::origin()).tech;
+    return uplink_ ? t.uplink : t.downlink;
+  }
+  [[nodiscard]] Duration nominal_latency() const override {
+    return schedule_.phase_at(TimePoint::origin()).tech.one_way_latency;
+  }
+
+  /// Marginal data price in effect now.
+  [[nodiscard]] Money current_data_price_per_gb() const {
+    return current().data_price_per_gb;
+  }
+  /// Name of the technology in effect now (e.g. "WiFi", "4G").
+  [[nodiscard]] const std::string& current_tech() const {
+    return current().tech.name;
+  }
+
+ private:
+  [[nodiscard]] const ConnectivityPhase& current() const {
+    return schedule_.phase_at(clock_());
+  }
+
+  const MobilitySchedule& schedule_;
+  bool uplink_;
+  std::function<TimePoint()> clock_;
+};
+
+}  // namespace ntco::net

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ntco/common/contracts.hpp"
+#include "ntco/net/link.hpp"
+
+/// \file path.hpp
+/// Bidirectional path between the UE and a remote execution site, plus
+/// named technology presets calibrated to published measurement studies.
+
+namespace ntco::net {
+
+/// Uplink + downlink pair. Owns its links.
+class NetworkPath {
+ public:
+  NetworkPath(std::string name, std::unique_ptr<Link> uplink,
+              std::unique_ptr<Link> downlink)
+      : name_(std::move(name)),
+        up_(std::move(uplink)),
+        down_(std::move(downlink)) {
+    NTCO_EXPECTS(up_ != nullptr);
+    NTCO_EXPECTS(down_ != nullptr);
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Link& uplink() { return *up_; }
+  [[nodiscard]] Link& downlink() { return *down_; }
+  [[nodiscard]] const Link& uplink() const { return *up_; }
+  [[nodiscard]] const Link& downlink() const { return *down_; }
+
+  /// Round-trip time for a request/response of the given payload sizes.
+  [[nodiscard]] Duration round_trip_time(DataSize request, DataSize response) {
+    return up_->transfer_time(request) + down_->transfer_time(response);
+  }
+
+ private:
+  std::string name_;
+  std::unique_ptr<Link> up_;
+  std::unique_ptr<Link> down_;
+};
+
+/// Named technology preset. Values follow the ballpark figures offloading
+/// papers use (3G per MAUI-era studies; LTE/5G/WiFi per OpenSignal-style
+/// averages); the experiments sweep around them anyway.
+struct TechProfile {
+  std::string name;
+  DataRate uplink;
+  DataRate downlink;
+  Duration one_way_latency;
+  double latency_sigma;  ///< log-normal sigma for the stochastic variant
+  double rate_cv;        ///< rate coefficient of variation
+};
+
+/// Known profiles.
+[[nodiscard]] TechProfile profile_3g();
+[[nodiscard]] TechProfile profile_4g();
+[[nodiscard]] TechProfile profile_5g();
+[[nodiscard]] TechProfile profile_wifi();
+/// LAN between UE and an on-premise edge site.
+[[nodiscard]] TechProfile profile_edge_lan();
+/// WAN leg from access network to a cloud region (what the UE pays on top
+/// of the access link when offloading to the cloud instead of the edge).
+[[nodiscard]] TechProfile profile_cloud_wan();
+
+/// Deterministic path from a profile.
+[[nodiscard]] NetworkPath make_fixed_path(const TechProfile& p);
+
+/// Stochastic path from a profile; `rng` supplies all jitter.
+[[nodiscard]] NetworkPath make_stochastic_path(const TechProfile& p, Rng rng);
+
+}  // namespace ntco::net

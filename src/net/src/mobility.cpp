@@ -1,0 +1,73 @@
+#include "ntco/net/mobility.hpp"
+
+#include "ntco/common/error.hpp"
+
+namespace ntco::net {
+
+MobilitySchedule::MobilitySchedule(std::vector<ConnectivityPhase> phases)
+    : phases_(std::move(phases)) {
+  if (phases_.empty())
+    throw ConfigError("mobility schedule needs at least one phase");
+  Duration offset;
+  for (const auto& p : phases_) {
+    if (p.duration <= Duration::zero())
+      throw ConfigError("mobility phase durations must be positive");
+    starts_.push_back(offset);
+    offset += p.duration;
+  }
+  cycle_ = offset;
+}
+
+std::size_t MobilitySchedule::index_at(Duration offset) const {
+  NTCO_EXPECTS(!offset.is_negative());
+  NTCO_EXPECTS(offset < cycle_);
+  // Phases are few (a handful per day); linear scan is clearest.
+  for (std::size_t i = phases_.size(); i-- > 0;)
+    if (offset >= starts_[i]) return i;
+  return 0;
+}
+
+const ConnectivityPhase& MobilitySchedule::phase_at(TimePoint t) const {
+  const auto us = t.since_origin().count_micros();
+  NTCO_EXPECTS(us >= 0);
+  const auto offset = Duration::micros(us % cycle_.count_micros());
+  return phases_[index_at(offset)];
+}
+
+Duration MobilitySchedule::remaining_in_phase(TimePoint t) const {
+  const auto us = t.since_origin().count_micros();
+  NTCO_EXPECTS(us >= 0);
+  const auto offset = Duration::micros(us % cycle_.count_micros());
+  const auto idx = index_at(offset);
+  return starts_[idx] + phases_[idx].duration - offset;
+}
+
+std::optional<TimePoint> MobilitySchedule::next_matching(
+    TimePoint from,
+    const std::function<bool(const ConnectivityPhase&)>& pred) const {
+  NTCO_EXPECTS(pred != nullptr);
+  if (pred(phase_at(from))) return from;
+  // Walk phase boundaries for up to two cycles.
+  TimePoint t = from + remaining_in_phase(from);
+  const TimePoint horizon = from + cycle_ + cycle_;
+  while (t < horizon) {
+    const auto& phase = phase_at(t);
+    if (pred(phase)) return t;
+    t = t + phase.duration;
+  }
+  return std::nullopt;
+}
+
+MobilitySchedule MobilitySchedule::commuter_day(Money cellular_price_per_gb) {
+  auto wifi = profile_wifi();
+  auto cellular = profile_4g();
+  return MobilitySchedule({
+      {wifi, Duration::hours(8), Money::zero()},           // home, asleep
+      {cellular, Duration::hours(1), cellular_price_per_gb},  // commute
+      {wifi, Duration::hours(8), Money::zero()},           // office
+      {cellular, Duration::hours(1), cellular_price_per_gb},  // commute
+      {wifi, Duration::hours(6), Money::zero()},           // home, evening
+  });
+}
+
+}  // namespace ntco::net

@@ -1,0 +1,51 @@
+#include "ntco/net/path.hpp"
+
+namespace ntco::net {
+
+TechProfile profile_3g() {
+  return {"3G", DataRate::megabits_per_second(1),
+          DataRate::megabits_per_second(4), Duration::millis(60), 0.45, 0.25};
+}
+
+TechProfile profile_4g() {
+  return {"4G", DataRate::megabits_per_second(10),
+          DataRate::megabits_per_second(30), Duration::millis(25), 0.35, 0.20};
+}
+
+TechProfile profile_5g() {
+  return {"5G", DataRate::megabits_per_second(60),
+          DataRate::megabits_per_second(150), Duration::millis(8), 0.30, 0.15};
+}
+
+TechProfile profile_wifi() {
+  return {"WiFi", DataRate::megabits_per_second(40),
+          DataRate::megabits_per_second(80), Duration::millis(3), 0.30, 0.15};
+}
+
+TechProfile profile_edge_lan() {
+  return {"EdgeLAN", DataRate::megabits_per_second(100),
+          DataRate::megabits_per_second(100), Duration::millis(1), 0.20, 0.10};
+}
+
+TechProfile profile_cloud_wan() {
+  return {"CloudWAN", DataRate::megabits_per_second(50),
+          DataRate::megabits_per_second(50), Duration::millis(40), 0.30, 0.10};
+}
+
+NetworkPath make_fixed_path(const TechProfile& p) {
+  return NetworkPath(p.name,
+                     std::make_unique<FixedLink>(p.one_way_latency, p.uplink),
+                     std::make_unique<FixedLink>(p.one_way_latency,
+                                                 p.downlink));
+}
+
+NetworkPath make_stochastic_path(const TechProfile& p, Rng rng) {
+  return NetworkPath(
+      p.name,
+      std::make_unique<StochasticLink>(p.one_way_latency, p.latency_sigma,
+                                       p.uplink, p.rate_cv, rng.fork(1)),
+      std::make_unique<StochasticLink>(p.one_way_latency, p.latency_sigma,
+                                       p.downlink, p.rate_cv, rng.fork(2)));
+}
+
+}  // namespace ntco::net

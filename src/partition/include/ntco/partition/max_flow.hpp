@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ntco/common/contracts.hpp"
+
+/// \file max_flow.hpp
+/// Dinic's maximum-flow / minimum-cut over real-valued capacities.
+///
+/// Used by MinCutPartitioner on the MAUI-style flow network; node counts are
+/// small (components + 2), so the O(V^2 E) bound is irrelevant, but the
+/// implementation is a faithful Dinic with BFS level graphs and DFS blocking
+/// flows and handles arbitrary graphs.
+
+namespace ntco::partition {
+
+/// Max-flow solver on a directed graph with double capacities.
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t nodes) : adj_(nodes) {}
+
+  /// Adds a directed arc with the given capacity (and a zero-capacity
+  /// reverse arc for the residual graph). Infinite capacity is allowed via
+  /// std::numeric_limits<double>::infinity().
+  void add_arc(std::size_t from, std::size_t to, double capacity) {
+    NTCO_EXPECTS(from < adj_.size());
+    NTCO_EXPECTS(to < adj_.size());
+    NTCO_EXPECTS(capacity >= 0.0);
+    adj_[from].push_back(edges_.size());
+    edges_.push_back(Edge{to, capacity});
+    adj_[to].push_back(edges_.size());
+    edges_.push_back(Edge{from, 0.0});
+  }
+
+  /// Computes the maximum s-t flow. Call once.
+  double solve(std::size_t source, std::size_t sink);
+
+  /// After solve(): nodes reachable from the source in the residual graph
+  /// (the source side S of the minimum cut). `in_source_side[v]` is true
+  /// iff v in S.
+  [[nodiscard]] std::vector<bool> min_cut_source_side(
+      std::size_t source) const;
+
+ private:
+  struct Edge {
+    std::size_t to;
+    double cap;  ///< residual capacity
+  };
+
+  bool bfs(std::size_t source, std::size_t sink);
+  double dfs(std::size_t v, std::size_t sink, double pushed);
+
+  static constexpr double kEps = 1e-12;
+
+  std::vector<std::vector<std::size_t>> adj_;
+  std::vector<Edge> edges_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace ntco::partition

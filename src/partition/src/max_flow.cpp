@@ -1,0 +1,81 @@
+#include "ntco/partition/max_flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace ntco::partition {
+
+bool MaxFlow::bfs(std::size_t source, std::size_t sink) {
+  level_.assign(adj_.size(), -1);
+  std::deque<std::size_t> queue{source};
+  level_[source] = 0;
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    for (const std::size_t ei : adj_[v]) {
+      const Edge& e = edges_[ei];
+      if (e.cap > kEps && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+double MaxFlow::dfs(std::size_t v, std::size_t sink, double pushed) {
+  if (v == sink) return pushed;
+  for (std::size_t& i = iter_[v]; i < adj_[v].size(); ++i) {
+    const std::size_t ei = adj_[v][i];
+    Edge& e = edges_[ei];
+    if (e.cap > kEps && level_[e.to] == level_[v] + 1) {
+      const double got = dfs(e.to, sink, std::min(pushed, e.cap));
+      if (got > kEps) {
+        e.cap -= got;
+        edges_[ei ^ 1].cap += got;  // paired reverse arc
+        return got;
+      }
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::solve(std::size_t source, std::size_t sink) {
+  NTCO_EXPECTS(source < adj_.size());
+  NTCO_EXPECTS(sink < adj_.size());
+  NTCO_EXPECTS(source != sink);
+  double flow = 0.0;
+  const double inf = std::numeric_limits<double>::infinity();
+  while (bfs(source, sink)) {
+    iter_.assign(adj_.size(), 0);
+    for (;;) {
+      const double pushed = dfs(source, sink, inf);
+      if (pushed <= kEps) break;
+      if (std::isinf(pushed)) return inf;  // unbounded s-t path
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+std::vector<bool> MaxFlow::min_cut_source_side(std::size_t source) const {
+  NTCO_EXPECTS(source < adj_.size());
+  std::vector<bool> side(adj_.size(), false);
+  std::deque<std::size_t> queue{source};
+  side[source] = true;
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    for (const std::size_t ei : adj_[v]) {
+      const Edge& e = edges_[ei];
+      if (e.cap > kEps && !side[e.to]) {
+        side[e.to] = true;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace ntco::partition

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "ntco/app/task_graph.hpp"
+#include "ntco/common/rng.hpp"
+#include "ntco/stats/accumulator.hpp"
+#include "ntco/stats/percentile.hpp"
+
+/// \file profiler.hpp
+/// Determining computational demands (the abstract's first contribution).
+///
+/// In a deployment, lightweight instrumentation measures per-component CPU
+/// time and boundary payload sizes on every run. Here the instrumented runs
+/// are produced by TraceGenerator (the truth graph plus measurement noise),
+/// and DemandProfiler reduces them to demand estimates with confidence
+/// information, which the partitioner consumes instead of the unknowable
+/// truth. DriftDetector watches the stream for workload shifts that should
+/// trigger re-partitioning through the CI/CD pipeline.
+
+namespace ntco::profile {
+
+/// One measured component execution.
+struct ComponentObservation {
+  app::ComponentId id;
+  Cycles cycles;
+};
+
+/// One measured boundary transfer. `flow` indexes TaskGraph::flows().
+struct FlowObservation {
+  std::size_t flow;
+  DataSize bytes;
+};
+
+/// One instrumented end-to-end run of the application.
+struct ExecutionTrace {
+  std::vector<ComponentObservation> components;
+  std::vector<FlowObservation> flows;
+};
+
+/// Produces noisy instrumented runs of a ground-truth application.
+///
+/// Per run, every component demand and flow payload is scaled by an
+/// independent log-normal factor with coefficient of variation `cv`
+/// (run-to-run input variation) and a constant `bias` (systematic
+/// instrumentation error). set_scale() shifts the underlying truth to model
+/// workload drift.
+class TraceGenerator {
+ public:
+  TraceGenerator(const app::TaskGraph& truth, double cv, Rng rng,
+                 double bias = 1.0);
+
+  [[nodiscard]] ExecutionTrace next();
+
+  /// Scales the true demand of every component by `work_scale` from the next
+  /// trace on (e.g. 1.5 = inputs grew 50%).
+  void set_scale(double work_scale);
+
+ private:
+  const app::TaskGraph& truth_;
+  double cv_;
+  double bias_;
+  double scale_ = 1.0;
+  Rng rng_;
+};
+
+/// Demand estimate for one component.
+struct ComponentEstimate {
+  Cycles mean;
+  Cycles p95;
+  double cv = 0.0;      ///< observed coefficient of variation
+  std::size_t samples = 0;
+};
+
+/// Payload estimate for one flow.
+struct FlowEstimate {
+  DataSize mean;
+  DataSize p95;
+  std::size_t samples = 0;
+};
+
+/// Aggregates execution traces into per-component / per-flow estimates.
+class DemandProfiler {
+ public:
+  DemandProfiler(std::size_t component_count, std::size_t flow_count);
+
+  void ingest(const ExecutionTrace& trace);
+
+  [[nodiscard]] std::size_t trace_count() const { return traces_; }
+
+  /// Pre: at least one observation for the component.
+  [[nodiscard]] ComponentEstimate component(app::ComponentId id) const;
+  [[nodiscard]] FlowEstimate flow(std::size_t idx) const;
+
+  /// Copies `skeleton` (structure, pins, memory, image) with demands and
+  /// payloads replaced by estimates: the mean, or the p95 when
+  /// `conservative` (so under-provisioning is avoided at the cost of
+  /// slightly pessimistic partitions). Pre: skeleton dimensions match and
+  /// every component/flow has been observed.
+  [[nodiscard]] app::TaskGraph estimated_graph(const app::TaskGraph& skeleton,
+                                               bool conservative = false) const;
+
+  /// Largest relative error of the mean demand estimates versus a known
+  /// truth graph, over components and flows. Pre: dimensions match, all
+  /// observed.
+  [[nodiscard]] double max_relative_error(const app::TaskGraph& truth) const;
+
+ private:
+  std::vector<stats::Accumulator> comp_acc_;
+  std::vector<stats::PercentileSample> comp_pct_;
+  std::vector<stats::Accumulator> flow_acc_;
+  std::vector<stats::PercentileSample> flow_pct_;
+  std::size_t traces_ = 0;
+};
+
+/// Flags sustained shifts in total per-run demand.
+///
+/// The baseline is the mean of the first `window` runs; drift is declared
+/// when the mean of the most recent `window` runs departs from the baseline
+/// by more than `threshold` (relative). Once drifted, the detector stays
+/// drifted until reset_baseline().
+class DriftDetector {
+ public:
+  DriftDetector(double threshold, std::size_t window);
+
+  /// Feeds the total demand of one run; returns true if drift is (now)
+  /// detected.
+  bool observe(Cycles run_total);
+
+  [[nodiscard]] bool drifted() const { return drifted_; }
+  /// Relative change of the recent window versus the baseline (0 until both
+  /// windows are full).
+  [[nodiscard]] double relative_change() const;
+
+  /// Re-baselines on the most recent window (after a re-partition).
+  void reset_baseline();
+
+ private:
+  double threshold_;
+  std::size_t window_;
+  double baseline_mean_ = 0.0;
+  std::size_t baseline_n_ = 0;
+  std::deque<double> recent_;
+  bool drifted_ = false;
+};
+
+}  // namespace ntco::profile

@@ -1,0 +1,173 @@
+#include "ntco/profile/profiler.hpp"
+
+#include <cmath>
+
+#include "ntco/common/error.hpp"
+
+namespace ntco::profile {
+
+namespace {
+
+/// Log-normal factor with mean 1 and the given coefficient of variation.
+double noise_factor(double cv, Rng& rng) {
+  if (cv <= 0.0) return 1.0;
+  const double sigma2 = std::log(1.0 + cv * cv);
+  return rng.lognormal(-sigma2 / 2.0, std::sqrt(sigma2));
+}
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(const app::TaskGraph& truth, double cv, Rng rng,
+                               double bias)
+    : truth_(truth), cv_(cv), bias_(bias), rng_(rng) {
+  NTCO_EXPECTS(cv >= 0.0);
+  NTCO_EXPECTS(bias > 0.0);
+}
+
+void TraceGenerator::set_scale(double work_scale) {
+  NTCO_EXPECTS(work_scale > 0.0);
+  scale_ = work_scale;
+}
+
+ExecutionTrace TraceGenerator::next() {
+  ExecutionTrace t;
+  t.components.reserve(truth_.component_count());
+  for (app::ComponentId id = 0; id < truth_.component_count(); ++id) {
+    const double factor = noise_factor(cv_, rng_) * bias_ * scale_;
+    t.components.push_back(
+        ComponentObservation{id, truth_.component(id).work * factor});
+  }
+  t.flows.reserve(truth_.flow_count());
+  for (std::size_t fi = 0; fi < truth_.flow_count(); ++fi) {
+    const double factor = noise_factor(cv_, rng_) * bias_ * scale_;
+    t.flows.push_back(FlowObservation{fi, truth_.flow(fi).bytes * factor});
+  }
+  return t;
+}
+
+DemandProfiler::DemandProfiler(std::size_t component_count,
+                               std::size_t flow_count)
+    : comp_acc_(component_count),
+      comp_pct_(component_count),
+      flow_acc_(flow_count),
+      flow_pct_(flow_count) {}
+
+void DemandProfiler::ingest(const ExecutionTrace& trace) {
+  for (const auto& o : trace.components) {
+    NTCO_EXPECTS(o.id < comp_acc_.size());
+    comp_acc_[o.id].add(static_cast<double>(o.cycles.value()));
+    comp_pct_[o.id].add(static_cast<double>(o.cycles.value()));
+  }
+  for (const auto& o : trace.flows) {
+    NTCO_EXPECTS(o.flow < flow_acc_.size());
+    flow_acc_[o.flow].add(static_cast<double>(o.bytes.count_bytes()));
+    flow_pct_[o.flow].add(static_cast<double>(o.bytes.count_bytes()));
+  }
+  ++traces_;
+}
+
+ComponentEstimate DemandProfiler::component(app::ComponentId id) const {
+  NTCO_EXPECTS(id < comp_acc_.size());
+  const auto& acc = comp_acc_[id];
+  NTCO_EXPECTS(!acc.empty());
+  ComponentEstimate e;
+  e.mean = Cycles::count(static_cast<std::uint64_t>(acc.mean()));
+  e.p95 = Cycles::count(static_cast<std::uint64_t>(comp_pct_[id].p95()));
+  e.cv = acc.mean() > 0.0 ? acc.stddev() / acc.mean() : 0.0;
+  e.samples = acc.count();
+  return e;
+}
+
+FlowEstimate DemandProfiler::flow(std::size_t idx) const {
+  NTCO_EXPECTS(idx < flow_acc_.size());
+  const auto& acc = flow_acc_[idx];
+  NTCO_EXPECTS(!acc.empty());
+  FlowEstimate e;
+  e.mean = DataSize::bytes(static_cast<std::uint64_t>(acc.mean()));
+  e.p95 = DataSize::bytes(static_cast<std::uint64_t>(flow_pct_[idx].p95()));
+  e.samples = acc.count();
+  return e;
+}
+
+app::TaskGraph DemandProfiler::estimated_graph(const app::TaskGraph& skeleton,
+                                               bool conservative) const {
+  NTCO_EXPECTS(skeleton.component_count() == comp_acc_.size());
+  NTCO_EXPECTS(skeleton.flow_count() == flow_acc_.size());
+  app::TaskGraph g(skeleton.name() + "-estimated");
+  for (app::ComponentId id = 0; id < skeleton.component_count(); ++id) {
+    app::Component c = skeleton.component(id);
+    const auto est = component(id);
+    c.work = conservative ? est.p95 : est.mean;
+    (void)g.add_component(std::move(c));
+  }
+  for (std::size_t fi = 0; fi < skeleton.flow_count(); ++fi) {
+    const auto& f = skeleton.flow(fi);
+    const auto est = flow(fi);
+    g.add_flow(f.from, f.to, conservative ? est.p95 : est.mean);
+  }
+  return g;
+}
+
+double DemandProfiler::max_relative_error(const app::TaskGraph& truth) const {
+  NTCO_EXPECTS(truth.component_count() == comp_acc_.size());
+  NTCO_EXPECTS(truth.flow_count() == flow_acc_.size());
+  double worst = 0.0;
+  for (app::ComponentId id = 0; id < truth.component_count(); ++id) {
+    const double t = static_cast<double>(truth.component(id).work.value());
+    NTCO_EXPECTS(t > 0.0);
+    const double e = static_cast<double>(component(id).mean.value());
+    worst = std::max(worst, std::abs(e - t) / t);
+  }
+  for (std::size_t fi = 0; fi < truth.flow_count(); ++fi) {
+    const double t = static_cast<double>(truth.flow(fi).bytes.count_bytes());
+    NTCO_EXPECTS(t > 0.0);
+    const double e = static_cast<double>(flow(fi).mean.count_bytes());
+    worst = std::max(worst, std::abs(e - t) / t);
+  }
+  return worst;
+}
+
+DriftDetector::DriftDetector(double threshold, std::size_t window)
+    : threshold_(threshold), window_(window) {
+  NTCO_EXPECTS(threshold > 0.0);
+  NTCO_EXPECTS(window >= 1);
+}
+
+bool DriftDetector::observe(Cycles run_total) {
+  const double x = static_cast<double>(run_total.value());
+  if (baseline_n_ < window_) {
+    baseline_mean_ += (x - baseline_mean_) / static_cast<double>(++baseline_n_);
+    return drifted_;
+  }
+  recent_.push_back(x);
+  if (recent_.size() > window_) recent_.pop_front();
+  if (recent_.size() == window_ && std::abs(relative_change()) > threshold_)
+    drifted_ = true;
+  return drifted_;
+}
+
+double DriftDetector::relative_change() const {
+  if (baseline_n_ < window_ || recent_.size() < window_ ||
+      baseline_mean_ <= 0.0)
+    return 0.0;
+  double recent_mean = 0.0;
+  for (const double x : recent_) recent_mean += x;
+  recent_mean /= static_cast<double>(recent_.size());
+  return recent_mean / baseline_mean_ - 1.0;
+}
+
+void DriftDetector::reset_baseline() {
+  if (!recent_.empty()) {
+    double m = 0.0;
+    for (const double x : recent_) m += x;
+    baseline_mean_ = m / static_cast<double>(recent_.size());
+    baseline_n_ = window_;
+  } else {
+    baseline_mean_ = 0.0;
+    baseline_n_ = 0;
+  }
+  recent_.clear();
+  drifted_ = false;
+}
+
+}  // namespace ntco::profile

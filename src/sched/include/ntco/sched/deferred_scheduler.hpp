@@ -1,0 +1,142 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ntco/common/contracts.hpp"
+#include "ntco/common/units.hpp"
+#include "ntco/serverless/platform.hpp"
+#include "ntco/sim/simulator.hpp"
+#include "ntco/stats/percentile.hpp"
+
+/// \file deferred_scheduler.hpp
+/// Exploiting non-time-criticality (the abstract's defining constraint).
+///
+/// A delay-tolerant job carries a *slack*: it may complete any time within
+/// [release, release + slack]. The scheduler uses that freedom to
+///  - shift work into discounted price windows (off-peak / spot-like
+///    tariffs), and
+///  - batch jobs at a common start so warm instances are reused instead of
+///    cold-started per job.
+/// DeferredExecutor runs the planned schedule on a serverless::Platform and
+/// reports cost, completion latency, and deadline misses (Figures F4, F7).
+
+namespace ntco::sched {
+
+/// One delay-tolerant job: `work` to run remotely, due `slack` after its
+/// release.
+struct DeferredJob {
+  std::string name;
+  Cycles work;
+  Duration slack;
+};
+
+/// Start-time planning policy.
+enum class Policy {
+  Immediate,   ///< run at release (the time-critical baseline)
+  CheapestWindow,  ///< earliest start inside the cheapest reachable tariff
+  Batched,     ///< CheapestWindow, then align starts to batch boundaries
+};
+
+/// Capacity-tier policy for executing deferred jobs.
+enum class TierPolicy {
+  OnDemandOnly,      ///< always full-price, never preempted
+  /// Use the discounted spot tier while there is ample slack; retry on
+  /// preemption; switch to on-demand once the remaining slack gets tight.
+  /// Only delay-tolerant jobs can use this — which is precisely the
+  /// abstract's argument for them.
+  SpotWithFallback,
+};
+
+/// Plans start times against a platform's tariff calendar.
+class DeferredScheduler {
+ public:
+  struct Config {
+    Policy policy = Policy::CheapestWindow;
+    /// Tariff scan granularity.
+    Duration search_step = Duration::minutes(15);
+    /// Batch alignment interval for Policy::Batched.
+    Duration batch_interval = Duration::minutes(10);
+    /// Capacity tier used by the executor.
+    TierPolicy tier_policy = TierPolicy::OnDemandOnly;
+    /// SpotWithFallback stays on spot while remaining slack exceeds
+    /// `fallback_safety` x the estimated duration.
+    double fallback_safety = 2.0;
+  };
+
+  DeferredScheduler(const serverless::Platform& platform, Config cfg);
+
+  /// Latest admissible start so that `est_duration` work still meets the
+  /// deadline, never before `release`.
+  [[nodiscard]] TimePoint latest_start(TimePoint release,
+                                       const DeferredJob& job,
+                                       Duration est_duration) const;
+
+  /// Planned start time for a job released at `release` whose execution is
+  /// expected to take `est_duration`.
+  [[nodiscard]] TimePoint plan_start(TimePoint release, const DeferredJob& job,
+                                     Duration est_duration) const;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  const serverless::Platform& platform_;
+  Config cfg_;
+};
+
+/// Outcome of one executed deferred job.
+struct DeferredOutcome {
+  std::string name;
+  TimePoint released;
+  TimePoint started;
+  TimePoint finished;
+  bool met_deadline = false;
+  Money cost;
+};
+
+/// Aggregate report over an executed job stream.
+struct DeferredReport {
+  std::uint64_t jobs = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t spot_attempts = 0;     ///< invocations issued on spot
+  std::uint64_t spot_preemptions = 0;  ///< spot attempts killed mid-run
+  std::uint64_t fallbacks = 0;         ///< jobs finished on on-demand after
+                                       ///< starting on spot
+  Money total_cost;
+  stats::PercentileSample completion_latency_s;  ///< finish - release
+
+  [[nodiscard]] double miss_rate() const {
+    return jobs == 0 ? 0.0
+                     : static_cast<double>(deadline_misses) /
+                           static_cast<double>(jobs);
+  }
+};
+
+/// Executes planned jobs on one serverless function and collects the
+/// report. Jobs submitted at simulated `now` are treated as released then.
+class DeferredExecutor {
+ public:
+  DeferredExecutor(sim::Simulator& sim, serverless::Platform& platform,
+                   serverless::FunctionId fn, DeferredScheduler scheduler);
+
+  /// Plans and schedules the job; completion lands in the report.
+  void submit(DeferredJob job);
+
+  [[nodiscard]] const DeferredReport& report() const { return report_; }
+
+ private:
+  void attempt(const DeferredJob& job, TimePoint released, TimePoint deadline,
+               Duration est, Money accrued, bool spotted);
+  void complete(const DeferredJob& job, TimePoint released,
+                TimePoint deadline, const serverless::InvocationResult& r,
+                Money accrued);
+
+  sim::Simulator& sim_;
+  serverless::Platform& platform_;
+  serverless::FunctionId fn_;
+  DeferredScheduler scheduler_;
+  DeferredReport report_;
+};
+
+}  // namespace ntco::sched

@@ -1,0 +1,50 @@
+#include "ntco/sched/carbon_planner.hpp"
+
+#include "ntco/common/error.hpp"
+
+namespace ntco::sched {
+
+CarbonProfile::CarbonProfile(std::array<double, 24> gco2_per_kwh)
+    : curve_(gco2_per_kwh) {
+  for (const double v : curve_)
+    if (v < 0.0) throw ConfigError("carbon intensity must be non-negative");
+}
+
+double CarbonProfile::at(TimePoint t) const {
+  const auto us = t.since_origin().count_micros();
+  NTCO_EXPECTS(us >= 0);
+  const auto hour = (us / 3'600'000'000LL) % 24;
+  return curve_[static_cast<std::size_t>(hour)];
+}
+
+CarbonProfile CarbonProfile::solar_grid() {
+  return CarbonProfile({480, 470, 460, 455, 450, 440, 400, 340,  // 00-07
+                        280, 220, 180, 160, 160, 170, 200, 260,  // 08-15
+                        340, 430, 500, 520, 510, 500, 490, 485});  // 16-23
+}
+
+CarbonProfile CarbonProfile::flat(double gco2_per_kwh) {
+  std::array<double, 24> c{};
+  c.fill(gco2_per_kwh);
+  return CarbonProfile(c);
+}
+
+TimePoint CarbonAwarePlanner::plan_start(TimePoint release, Duration slack,
+                                         Duration est_duration) const {
+  NTCO_EXPECTS(!slack.is_negative());
+  TimePoint latest = release + slack - est_duration;
+  if (latest < release) latest = release;
+
+  TimePoint best = release;
+  double best_intensity = profile_.at(release);
+  for (TimePoint t = release; t <= latest; t = t + cfg_.search_step) {
+    const double intensity = profile_.at(t);
+    if (intensity < best_intensity - 1e-12) {
+      best_intensity = intensity;
+      best = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace ntco::sched

@@ -1,0 +1,124 @@
+#include "ntco/sched/deferred_scheduler.hpp"
+
+#include <algorithm>
+
+namespace ntco::sched {
+
+DeferredScheduler::DeferredScheduler(const serverless::Platform& platform,
+                                     Config cfg)
+    : platform_(platform), cfg_(cfg) {
+  NTCO_EXPECTS(cfg.search_step > Duration::zero());
+  NTCO_EXPECTS(cfg.batch_interval > Duration::zero());
+}
+
+TimePoint DeferredScheduler::latest_start(TimePoint release,
+                                          const DeferredJob& job,
+                                          Duration est_duration) const {
+  NTCO_EXPECTS(!job.slack.is_negative());
+  const TimePoint deadline = release + job.slack;
+  TimePoint latest = deadline - est_duration;
+  if (latest < release) latest = release;  // tight job: start immediately
+  return latest;
+}
+
+TimePoint DeferredScheduler::plan_start(TimePoint release,
+                                        const DeferredJob& job,
+                                        Duration est_duration) const {
+  if (cfg_.policy == Policy::Immediate) return release;
+
+  const TimePoint latest = latest_start(release, job, est_duration);
+
+  // Scan the admissible interval for the cheapest tariff; among equal
+  // tariffs pick the earliest start (finish as soon as the price allows).
+  TimePoint best = release;
+  double best_mult = platform_.price_multiplier(release);
+  for (TimePoint t = release; t <= latest; t = t + cfg_.search_step) {
+    const double m = platform_.price_multiplier(t);
+    if (m < best_mult - 1e-12) {
+      best_mult = m;
+      best = t;
+    }
+  }
+
+  if (cfg_.policy == Policy::Batched && best > release) {
+    // Defer slightly further to the next batch boundary so concurrent jobs
+    // share warm instances — but never beyond the latest admissible start.
+    const auto interval = cfg_.batch_interval.count_micros();
+    const auto offset = best.since_origin().count_micros();
+    const auto aligned = (offset + interval - 1) / interval * interval;
+    const TimePoint batched = TimePoint::at(Duration::micros(aligned));
+    if (batched <= latest &&
+        platform_.price_multiplier(batched) <= best_mult + 1e-12)
+      best = batched;
+  }
+  return best;
+}
+
+DeferredExecutor::DeferredExecutor(sim::Simulator& sim,
+                                   serverless::Platform& platform,
+                                   serverless::FunctionId fn,
+                                   DeferredScheduler scheduler)
+    : sim_(sim), platform_(platform), fn_(fn), scheduler_(std::move(scheduler)) {}
+
+void DeferredExecutor::submit(DeferredJob job) {
+  const TimePoint released = sim_.now();
+  const auto& spec = platform_.spec(fn_);
+  const Duration est =
+      platform_.exec_time(spec.memory, job.work, spec.parallel_fraction);
+  const TimePoint start = scheduler_.plan_start(released, job, est);
+  const TimePoint deadline = released + job.slack;
+
+  sim_.schedule_at(start,
+                   [this, job = std::move(job), released, deadline, est] {
+                     attempt(job, released, deadline, est, Money::zero(),
+                             /*spotted=*/false);
+                   });
+}
+
+void DeferredExecutor::attempt(const DeferredJob& job, TimePoint released,
+                               TimePoint deadline, Duration est, Money accrued,
+                               bool spotted) {
+  // Spot is only safe while we could still absorb a preempted attempt and
+  // an on-demand redo within the remaining slack.
+  const bool use_spot =
+      scheduler_.config().tier_policy == TierPolicy::SpotWithFallback &&
+      sim_.now() + est * scheduler_.config().fallback_safety <= deadline;
+  if (use_spot) ++report_.spot_attempts;
+  if (spotted && !use_spot) ++report_.fallbacks;
+
+  platform_.invoke(
+      fn_, job.work,
+      [this, job, released, deadline, est,
+       accrued](const serverless::InvocationResult& r) {
+        if (r.preempted) {
+          ++report_.spot_preemptions;
+          // Retry immediately; the wasted partial execution stays on the
+          // bill.
+          attempt(job, released, deadline, est, accrued + r.cost,
+                  /*spotted=*/true);
+          return;
+        }
+        complete(job, released, deadline, r, accrued);
+      },
+      use_spot ? serverless::Tier::Spot : serverless::Tier::OnDemand);
+}
+
+void DeferredExecutor::complete(const DeferredJob& job, TimePoint released,
+                                TimePoint deadline,
+                                const serverless::InvocationResult& r,
+                                Money accrued) {
+  DeferredOutcome out;
+  out.name = job.name;
+  out.released = released;
+  out.started = r.started;
+  out.finished = r.finished;
+  out.met_deadline = r.finished <= deadline;
+  out.cost = accrued + r.cost;
+
+  ++report_.jobs;
+  if (!out.met_deadline) ++report_.deadline_misses;
+  report_.total_cost += out.cost;
+  report_.completion_latency_s.add((out.finished - out.released).to_seconds());
+}
+
+}  // namespace ntco::sched

@@ -1,0 +1,252 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ntco/common/contracts.hpp"
+#include "ntco/common/error.hpp"
+#include "ntco/common/rng.hpp"
+#include "ntco/common/units.hpp"
+#include "ntco/sim/simulator.hpp"
+
+/// \file platform.hpp
+/// Serverless (FaaS) platform simulator.
+///
+/// Models the provider behaviour that matters to offloading economics:
+///  - memory-proportional CPU share (an AWS-Lambda-like `mem / 1792 MB`
+///    vCPU fraction, capped at a vCPU ceiling),
+///  - warm instance reuse with LIFO keep-alive and expiry,
+///  - cold starts proportional to deployment image size,
+///  - provisioned concurrency (always-warm instances billed while idle),
+///  - GB-second + per-request billing with 1 ms rounding,
+///  - an account-wide concurrency limit with FIFO throttling,
+///  - time-of-day price multipliers (stand-in for spot/off-peak pricing;
+///    see DESIGN.md substitution notes).
+///
+/// The platform models the compute side only; network transfer to/from the
+/// UE is accounted by the caller (core::OffloadController), which knows the
+/// link.
+
+namespace ntco::serverless {
+
+/// Handle to a deployed function.
+using FunctionId = std::uint32_t;
+
+/// Time-of-day pricing window: [start_hour, end_hour) in simulated hours
+/// since origin, repeating daily. Wrapping windows (22 -> 6) are allowed.
+struct PriceWindow {
+  int start_hour = 0;
+  int end_hour = 0;
+  double multiplier = 1.0;
+};
+
+/// Provider parameters. Defaults approximate a large public FaaS offering.
+struct PlatformConfig {
+  /// Full-share core speed; effective speed scales with memory.
+  Frequency core_speed = Frequency::gigahertz(2.5);
+  /// Memory that buys exactly one full vCPU.
+  DataSize full_share_memory = DataSize::megabytes(1792);
+  /// Upper bound on vCPUs regardless of memory.
+  double max_vcpus = 6.0;
+  DataSize min_memory = DataSize::megabytes(128);
+  DataSize max_memory = DataSize::megabytes(10240);
+  /// Configurable memory granularity.
+  DataSize memory_quantum = DataSize::megabytes(64);
+
+  Money price_per_gb_second = Money::nano_usd(16'667);  // $0.0000166667
+  Money price_per_request = Money::nano_usd(200);       // $0.0000002
+  /// Idle provisioned capacity price (per GB-second, cheaper than exec).
+  Money provisioned_price_per_gb_second = Money::nano_usd(4'167);
+  /// Billing granularity for execution time.
+  Duration billing_quantum = Duration::millis(1);
+
+  Duration cold_start_base = Duration::millis(180);
+  /// Image bytes installed per second during a cold start.
+  DataRate image_install_rate = DataRate::megabits_per_second(400);
+  Duration keep_alive = Duration::minutes(10);
+
+  /// Account-wide concurrent execution limit; excess invocations queue.
+  std::size_t account_concurrency = 1000;
+
+  /// Optional time-of-day execution-price multipliers.
+  std::vector<PriceWindow> price_windows;
+
+  /// Spot tier: execution price factor relative to on-demand.
+  double spot_price_multiplier = 0.3;
+  /// Mean time until a running spot execution is preempted (exponential).
+  /// Duration::zero() disables preemption entirely.
+  Duration spot_mean_time_to_preempt = Duration::minutes(10);
+  /// Seed of the platform's internal randomness (spot preemption draws).
+  std::uint64_t seed = 0x5EED;
+};
+
+/// Capacity tier of one invocation.
+enum class Tier : std::uint8_t {
+  OnDemand,  ///< full price, never preempted
+  Spot,      ///< discounted, may be preempted mid-execution
+};
+
+/// Deployment descriptor for one function (one code partition).
+struct FunctionSpec {
+  std::string name;
+  DataSize memory = DataSize::megabytes(256);  ///< configured memory
+  DataSize image = DataSize::megabytes(30);    ///< deployment package size
+  /// Amdahl parallel fraction of the function body: how much of the work
+  /// can exploit vCPUs beyond the first (1.0 = embarrassingly parallel).
+  double parallel_fraction = 1.0;
+};
+
+/// Outcome of one invocation, delivered to the completion callback.
+struct InvocationResult {
+  TimePoint submitted;
+  TimePoint started;   ///< when compute began (after queueing + cold start)
+  TimePoint finished;
+  bool cold_start = false;
+  bool preempted = false;  ///< spot execution killed before completion
+  Tier tier = Tier::OnDemand;
+  Duration queue_wait;  ///< time throttled by the concurrency limit
+  Duration init_time;   ///< cold-start time paid (zero when warm)
+  Duration exec_time;   ///< execution time consumed (partial if preempted)
+  Money cost;           ///< execution + request cost of this invocation
+};
+
+/// Aggregate platform accounting.
+struct PlatformStats {
+  std::uint64_t invocations = 0;
+  std::uint64_t cold_starts = 0;
+  std::uint64_t throttled = 0;  ///< invocations that had to queue
+  std::uint64_t preemptions = 0;  ///< spot executions killed mid-run
+  Duration total_exec;
+  Duration total_init;
+  Money exec_cost;
+  Money request_cost;
+  Money provisioned_cost;  ///< accrued idle-capacity cost (query-time lazy)
+  std::size_t peak_concurrency = 0;
+};
+
+/// Discrete-event serverless platform. Non-copyable; lives alongside one
+/// sim::Simulator.
+class Platform {
+ public:
+  using Callback = std::function<void(const InvocationResult&)>;
+
+  Platform(sim::Simulator& sim, PlatformConfig cfg);
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  /// Registers a function. Memory is validated against provider limits and
+  /// must be quantum-aligned (use quantize_memory()). Throws ConfigError.
+  FunctionId deploy(FunctionSpec spec);
+
+  /// Replaces the spec of a deployed function (new version): existing warm
+  /// instances are invalidated, so the next invocation is cold.
+  void redeploy(FunctionId id, FunctionSpec spec);
+
+  /// Keeps `n` instances permanently warm for the function. Takes effect
+  /// immediately; idle provisioned capacity accrues cost until changed.
+  void set_provisioned_concurrency(FunctionId id, std::size_t n);
+
+  /// Asynchronously executes `work` on the function. `done` fires when the
+  /// invocation completes — or, for Tier::Spot, when it is preempted
+  /// (result.preempted == true, exec_time partial, billed at the spot
+  /// price); retrying is the caller's policy (see sched::DeferredExecutor).
+  void invoke(FunctionId id, Cycles work, Callback done,
+              Tier tier = Tier::OnDemand);
+
+  [[nodiscard]] const FunctionSpec& spec(FunctionId id) const;
+  [[nodiscard]] std::size_t function_count() const { return fns_.size(); }
+
+  // --- Pure pricing/timing math, shared with the analytic allocator ------
+
+  /// Rounds a requested memory size to a deployable configuration.
+  [[nodiscard]] DataSize quantize_memory(DataSize requested) const;
+
+  /// vCPU share purchased by `memory`, in (0, max_vcpus].
+  [[nodiscard]] double cpu_share(DataSize memory) const;
+
+  /// Execution time of `work` at the given memory configuration for a
+  /// function with the given Amdahl parallel fraction. Below one vCPU the
+  /// single thread simply gets `share` of a core; above it, Amdahl's law
+  /// over `share` cores applies: speedup = 1 / ((1-p) + p/share).
+  [[nodiscard]] Duration exec_time(DataSize memory, Cycles work,
+                                   double parallel_fraction) const;
+
+  /// Fully parallel convenience overload.
+  [[nodiscard]] Duration exec_time(DataSize memory, Cycles work) const {
+    return exec_time(memory, work, 1.0);
+  }
+
+  /// Cold-start duration for an image of the given size.
+  [[nodiscard]] Duration cold_start_time(DataSize image) const;
+
+  /// Cost of one execution of `billed` duration at `memory`, at simulated
+  /// time `when` (applies the time-of-day multiplier and the tier's price
+  /// factor), including the per-request fee.
+  [[nodiscard]] Money invocation_cost(DataSize memory, Duration billed,
+                                      TimePoint when,
+                                      Tier tier = Tier::OnDemand) const;
+
+  /// Execution-price multiplier in effect at `when`.
+  [[nodiscard]] double price_multiplier(TimePoint when) const;
+
+  // --- Accounting ---------------------------------------------------------
+
+  /// Stats with provisioned-capacity cost accrued up to sim.now().
+  [[nodiscard]] PlatformStats stats() const;
+
+  /// Total money spent (execution + requests + provisioned capacity).
+  [[nodiscard]] Money total_cost() const;
+
+  /// Currently executing invocations (for tests).
+  [[nodiscard]] std::size_t concurrency_in_use() const { return busy_; }
+  /// Warm (idle, reusable) instances of a function, incl. provisioned.
+  [[nodiscard]] std::size_t warm_count(FunctionId id) const;
+
+  [[nodiscard]] const PlatformConfig& config() const { return cfg_; }
+
+ private:
+  struct IdleInstance {
+    std::uint64_t instance_id;
+    sim::EventId expiry_event;  ///< 0-equivalent for provisioned (none)
+    bool provisioned;
+  };
+
+  struct Function {
+    FunctionSpec spec;
+    std::vector<IdleInstance> idle;  ///< LIFO warm pool
+    std::size_t provisioned_target = 0;
+    std::size_t provisioned_total = 0;  ///< provisioned instances in existence
+  };
+
+  struct PendingInvocation {
+    FunctionId fn;
+    Cycles work;
+    Callback done;
+    TimePoint submitted;
+    Tier tier = Tier::OnDemand;
+  };
+
+  void pump();  ///< admits queued invocations while concurrency allows
+  void begin(PendingInvocation inv);
+  void finish_instance(FunctionId fn, bool provisioned);
+  void accrue_provisioned() const;
+  [[nodiscard]] double provisioned_gb() const;
+
+  sim::Simulator& sim_;
+  PlatformConfig cfg_;
+  Rng rng_;
+  std::vector<Function> fns_;
+  std::deque<PendingInvocation> queue_;
+  std::size_t busy_ = 0;
+  std::uint64_t next_instance_ = 1;
+
+  mutable PlatformStats stats_;
+  mutable TimePoint provisioned_accrued_until_;
+};
+
+}  // namespace ntco::serverless

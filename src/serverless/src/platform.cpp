@@ -1,0 +1,331 @@
+#include "ntco/serverless/platform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ntco::serverless {
+
+Platform::Platform(sim::Simulator& sim, PlatformConfig cfg)
+    : sim_(sim), cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  if (cfg_.core_speed.is_zero())
+    throw ConfigError("core_speed must be positive");
+  if (cfg_.full_share_memory.is_zero())
+    throw ConfigError("full_share_memory must be positive");
+  if (cfg_.max_vcpus <= 0.0) throw ConfigError("max_vcpus must be positive");
+  if (cfg_.min_memory > cfg_.max_memory)
+    throw ConfigError("min_memory exceeds max_memory");
+  if (cfg_.memory_quantum.is_zero())
+    throw ConfigError("memory_quantum must be positive");
+  if (cfg_.account_concurrency == 0)
+    throw ConfigError("account_concurrency must be positive");
+  for (const auto& w : cfg_.price_windows) {
+    if (w.start_hour < 0 || w.start_hour > 23 || w.end_hour < 0 ||
+        w.end_hour > 24 || w.multiplier <= 0.0)
+      throw ConfigError("malformed price window");
+  }
+  if (cfg_.spot_price_multiplier <= 0.0 || cfg_.spot_price_multiplier > 1.0)
+    throw ConfigError("spot_price_multiplier must lie in (0, 1]");
+  if (cfg_.spot_mean_time_to_preempt.is_negative())
+    throw ConfigError("spot_mean_time_to_preempt must be non-negative");
+  provisioned_accrued_until_ = sim_.now();
+}
+
+FunctionId Platform::deploy(FunctionSpec spec) {
+  if (spec.name.empty()) throw ConfigError("function name must be non-empty");
+  if (spec.memory < cfg_.min_memory || spec.memory > cfg_.max_memory)
+    throw ConfigError("function '" + spec.name +
+                      "' memory outside provider limits");
+  if (spec.memory.count_bytes() % cfg_.memory_quantum.count_bytes() != 0)
+    throw ConfigError("function '" + spec.name +
+                      "' memory not quantum-aligned; use quantize_memory()");
+  if (spec.parallel_fraction < 0.0 || spec.parallel_fraction > 1.0)
+    throw ConfigError("function '" + spec.name +
+                      "' parallel_fraction outside [0, 1]");
+  fns_.push_back(Function{std::move(spec), {}, 0, 0});
+  return static_cast<FunctionId>(fns_.size() - 1);
+}
+
+void Platform::redeploy(FunctionId id, FunctionSpec spec) {
+  NTCO_EXPECTS(id < fns_.size());
+  if (spec.memory < cfg_.min_memory || spec.memory > cfg_.max_memory ||
+      spec.memory.count_bytes() % cfg_.memory_quantum.count_bytes() != 0)
+    throw ConfigError("redeploy of '" + spec.name + "': invalid memory");
+  accrue_provisioned();
+  Function& fn = fns_[id];
+  // Invalidate every warm instance: next on-demand invocation is cold.
+  for (const auto& inst : fn.idle)
+    if (!inst.provisioned) sim_.cancel(inst.expiry_event);
+  fn.idle.clear();
+  fn.provisioned_total = 0;
+  fn.spec = std::move(spec);
+  // Provisioned capacity is re-established for the new version immediately
+  // (the provider pre-initialises the new instances before cutover).
+  const std::size_t target = fn.provisioned_target;
+  fn.provisioned_target = 0;
+  set_provisioned_concurrency(id, target);
+}
+
+void Platform::set_provisioned_concurrency(FunctionId id, std::size_t n) {
+  NTCO_EXPECTS(id < fns_.size());
+  accrue_provisioned();
+  Function& fn = fns_[id];
+  fn.provisioned_target = n;
+  // Grow: create idle provisioned instances.
+  while (fn.provisioned_total < n) {
+    fn.idle.push_back(IdleInstance{next_instance_++, 0, true});
+    ++fn.provisioned_total;
+  }
+  // Shrink: retire idle provisioned instances now; busy ones retire on
+  // completion (see finish_instance()).
+  if (fn.provisioned_total > n) {
+    auto it = fn.idle.begin();
+    while (it != fn.idle.end() && fn.provisioned_total > n) {
+      if (it->provisioned) {
+        it = fn.idle.erase(it);
+        --fn.provisioned_total;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void Platform::invoke(FunctionId id, Cycles work, Callback done, Tier tier) {
+  NTCO_EXPECTS(id < fns_.size());
+  NTCO_EXPECTS(done != nullptr);
+  ++stats_.invocations;
+  if (busy_ >= cfg_.account_concurrency || !queue_.empty())
+    ++stats_.throttled;
+  queue_.push_back(
+      PendingInvocation{id, work, std::move(done), sim_.now(), tier});
+  pump();
+}
+
+const FunctionSpec& Platform::spec(FunctionId id) const {
+  NTCO_EXPECTS(id < fns_.size());
+  return fns_[id].spec;
+}
+
+DataSize Platform::quantize_memory(DataSize requested) const {
+  const auto q = cfg_.memory_quantum.count_bytes();
+  auto b = requested.count_bytes();
+  b = std::max(b, cfg_.min_memory.count_bytes());
+  b = ((b + q - 1) / q) * q;  // round up to quantum
+  b = std::min(b, cfg_.max_memory.count_bytes());
+  return DataSize::bytes(b);
+}
+
+double Platform::cpu_share(DataSize memory) const {
+  NTCO_EXPECTS(!memory.is_zero());
+  const double share = static_cast<double>(memory.count_bytes()) /
+                       static_cast<double>(cfg_.full_share_memory.count_bytes());
+  return std::min(share, cfg_.max_vcpus);
+}
+
+Duration Platform::exec_time(DataSize memory, Cycles work,
+                             double parallel_fraction) const {
+  NTCO_EXPECTS(parallel_fraction >= 0.0 && parallel_fraction <= 1.0);
+  const double share = cpu_share(memory);
+  double speed_factor;
+  if (share <= 1.0) {
+    // Sub-vCPU configurations time-slice a single core: the function's
+    // parallelism cannot help.
+    speed_factor = share;
+  } else {
+    // Amdahl's law over `share` cores at full per-core speed.
+    speed_factor =
+        1.0 / ((1.0 - parallel_fraction) + parallel_fraction / share);
+  }
+  return work / (cfg_.core_speed * speed_factor);
+}
+
+Duration Platform::cold_start_time(DataSize image) const {
+  return cfg_.cold_start_base + image / cfg_.image_install_rate;
+}
+
+double Platform::price_multiplier(TimePoint when) const {
+  const auto hours_since_origin =
+      when.since_origin().count_micros() / 3'600'000'000LL;
+  const int h = static_cast<int>(hours_since_origin % 24);
+  for (const auto& w : cfg_.price_windows) {
+    const bool inside = (w.start_hour <= w.end_hour)
+                            ? (h >= w.start_hour && h < w.end_hour)
+                            : (h >= w.start_hour || h < w.end_hour);
+    if (inside) return w.multiplier;
+  }
+  return 1.0;
+}
+
+Money Platform::invocation_cost(DataSize memory, Duration billed,
+                                TimePoint when, Tier tier) const {
+  NTCO_EXPECTS(!billed.is_negative());
+  // Round the billed duration up to the billing quantum.
+  const auto q = cfg_.billing_quantum.count_micros();
+  const auto us = (billed.count_micros() + q - 1) / q * q;
+  const double gb_seconds = static_cast<double>(memory.count_bytes()) / 1e9 *
+                            static_cast<double>(us) / 1e6;
+  const double tier_factor =
+      tier == Tier::Spot ? cfg_.spot_price_multiplier : 1.0;
+  return cfg_.price_per_gb_second *
+             (gb_seconds * price_multiplier(when) * tier_factor) +
+         cfg_.price_per_request;
+}
+
+void Platform::pump() {
+  while (busy_ < cfg_.account_concurrency && !queue_.empty()) {
+    PendingInvocation inv = std::move(queue_.front());
+    queue_.pop_front();
+    begin(std::move(inv));
+  }
+}
+
+void Platform::begin(PendingInvocation inv) {
+  Function& fn = fns_[inv.fn];
+
+  bool provisioned = false;
+  bool cold = false;
+  Duration init;
+
+  if (!fn.idle.empty()) {
+    // Prefer a provisioned instance; otherwise reuse most-recently-used
+    // (LIFO), which maximises the chance older instances expire.
+    auto it = std::find_if(fn.idle.rbegin(), fn.idle.rend(),
+                           [](const IdleInstance& i) { return i.provisioned; });
+    if (it == fn.idle.rend()) it = fn.idle.rbegin();
+    provisioned = it->provisioned;
+    if (!provisioned) sim_.cancel(it->expiry_event);
+    fn.idle.erase(std::next(it).base());
+  } else {
+    cold = true;
+    init = cold_start_time(fn.spec.image);
+    ++stats_.cold_starts;
+  }
+
+  ++busy_;
+  stats_.peak_concurrency = std::max(stats_.peak_concurrency, busy_);
+
+  const TimePoint submitted = inv.submitted;
+  const TimePoint admission = sim_.now();
+  const Duration full_exec =
+      exec_time(fn.spec.memory, inv.work, fn.spec.parallel_fraction);
+  const FunctionId fn_id = inv.fn;
+  const Tier tier = inv.tier;
+
+  // Spot executions race an exponential preemption clock. A preempted
+  // instance is torn down, so it neither returns to the warm pool nor
+  // survives as provisioned capacity for this slot.
+  Duration exec = full_exec;
+  bool preempted = false;
+  if (tier == Tier::Spot && !cfg_.spot_mean_time_to_preempt.is_zero()) {
+    const Duration survive = Duration::from_seconds(
+        rng_.exponential(cfg_.spot_mean_time_to_preempt.to_seconds()));
+    if (survive < full_exec) {
+      exec = survive;
+      preempted = true;
+    }
+  }
+
+  sim_.schedule_after(
+      init + exec, [this, fn_id, submitted, admission, init, exec, cold,
+                    provisioned, tier, preempted,
+                    done = std::move(inv.done)] {
+        InvocationResult r;
+        r.submitted = submitted;
+        r.started = admission + init;
+        r.finished = sim_.now();
+        r.cold_start = cold;
+        r.preempted = preempted;
+        r.tier = tier;
+        r.queue_wait = admission - submitted;
+        r.init_time = init;
+        r.exec_time = exec;
+        r.cost =
+            invocation_cost(fns_[fn_id].spec.memory, exec, r.started, tier);
+
+        stats_.total_exec += exec;
+        stats_.total_init += init;
+        stats_.exec_cost += r.cost - cfg_.price_per_request;
+        stats_.request_cost += cfg_.price_per_request;
+        if (preempted) ++stats_.preemptions;
+
+        if (preempted) {
+          // Torn down: release concurrency without returning an instance.
+          NTCO_EXPECTS(busy_ > 0);
+          --busy_;
+          if (provisioned) {
+            Function& f = fns_[fn_id];
+            if (f.provisioned_total > 0) --f.provisioned_total;
+            // Re-establish the provisioned target with a fresh instance.
+            const std::size_t target = f.provisioned_target;
+            f.provisioned_target = 0;
+            set_provisioned_concurrency(fn_id, target);
+          }
+        } else {
+          finish_instance(fn_id, provisioned);
+        }
+        done(r);
+        pump();
+      });
+}
+
+void Platform::finish_instance(FunctionId fn_id, bool provisioned) {
+  NTCO_EXPECTS(busy_ > 0);
+  --busy_;
+  Function& fn = fns_[fn_id];
+  if (provisioned) {
+    if (fn.provisioned_total > fn.provisioned_target) {
+      --fn.provisioned_total;  // retire excess provisioned capacity
+    } else {
+      fn.idle.push_back(IdleInstance{next_instance_++, 0, true});
+    }
+    return;
+  }
+  // On-demand instance stays warm for the keep-alive window.
+  const std::uint64_t instance_id = next_instance_++;
+  const auto expiry =
+      sim_.schedule_after(cfg_.keep_alive, [this, fn_id, instance_id] {
+        auto& idle = fns_[fn_id].idle;
+        const auto it = std::find_if(idle.begin(), idle.end(),
+                                     [&](const IdleInstance& i) {
+                                       return i.instance_id == instance_id;
+                                     });
+        if (it != idle.end()) idle.erase(it);
+      });
+  fn.idle.push_back(IdleInstance{instance_id, expiry, false});
+}
+
+void Platform::accrue_provisioned() const {
+  const TimePoint now = sim_.now();
+  const Duration elapsed = now - provisioned_accrued_until_;
+  if (elapsed > Duration::zero()) {
+    const double gb_seconds = provisioned_gb() * elapsed.to_seconds();
+    stats_.provisioned_cost +=
+        cfg_.provisioned_price_per_gb_second * gb_seconds;
+  }
+  provisioned_accrued_until_ = now;
+}
+
+double Platform::provisioned_gb() const {
+  double gb = 0.0;
+  for (const auto& fn : fns_)
+    gb += static_cast<double>(fn.provisioned_total) *
+          static_cast<double>(fn.spec.memory.count_bytes()) / 1e9;
+  return gb;
+}
+
+std::size_t Platform::warm_count(FunctionId id) const {
+  NTCO_EXPECTS(id < fns_.size());
+  return fns_[id].idle.size();
+}
+
+PlatformStats Platform::stats() const {
+  accrue_provisioned();
+  return stats_;
+}
+
+Money Platform::total_cost() const {
+  accrue_provisioned();
+  return stats_.exec_cost + stats_.request_cost + stats_.provisioned_cost;
+}
+
+}  // namespace ntco::serverless

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "ntco/common/contracts.hpp"
+#include "ntco/common/units.hpp"
+#include "ntco/sim/simulator.hpp"
+
+/// \file server_pool.hpp
+/// FIFO multi-server queueing resource (an M/G/c service station when fed
+/// with Poisson arrivals). Used to model fixed-capacity edge sites, build
+/// agents in the CI/CD simulator, and anywhere contention for a bounded
+/// resource matters.
+
+namespace ntco::sim {
+
+/// Fixed pool of identical servers with an unbounded FIFO queue.
+class ServerPool {
+ public:
+  /// `on_done(started_at)` fires when the job finishes service; `started_at`
+  /// is when it left the queue, so callers can derive queueing delay.
+  using Completion = std::function<void(TimePoint started_at)>;
+
+  ServerPool(Simulator& sim, std::size_t servers)
+      : sim_(sim), free_(servers), capacity_(servers) {
+    NTCO_EXPECTS(servers > 0);
+  }
+
+  ServerPool(const ServerPool&) = delete;
+  ServerPool& operator=(const ServerPool&) = delete;
+
+  /// Enqueues a job needing `service` time on one server.
+  void submit(Duration service, Completion on_done) {
+    NTCO_EXPECTS(!service.is_negative());
+    NTCO_EXPECTS(on_done != nullptr);
+    queue_.push_back(Job{service, std::move(on_done)});
+    dispatch();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t busy() const { return capacity_ - free_; }
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+
+  /// Accumulated busy server-time (for utilisation accounting).
+  [[nodiscard]] Duration total_busy_time() const { return busy_time_; }
+
+  /// Jobs fully served so far.
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+
+ private:
+  struct Job {
+    Duration service;
+    Completion on_done;
+  };
+
+  void dispatch() {
+    while (free_ > 0 && !queue_.empty()) {
+      Job job = std::move(queue_.front());
+      queue_.pop_front();
+      --free_;
+      const TimePoint started = sim_.now();
+      busy_time_ += job.service;
+      sim_.schedule_after(
+          job.service,
+          [this, started, done = std::move(job.on_done)]() mutable {
+            ++free_;
+            ++completed_;
+            done(started);
+            dispatch();
+          });
+    }
+  }
+
+  Simulator& sim_;
+  std::size_t free_;
+  std::size_t capacity_;
+  std::deque<Job> queue_;
+  Duration busy_time_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace ntco::sim

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "ntco/common/contracts.hpp"
+#include "ntco/common/units.hpp"
+
+/// \file simulator.hpp
+/// Deterministic discrete-event simulation kernel.
+///
+/// The kernel is single-threaded and deterministic: events that share a
+/// timestamp fire in the order they were scheduled. All platform simulators
+/// (serverless, edge, network, scheduler, CI/CD) are built on this kernel, in
+/// the role EdgeCloudSim / iFogSim play for published offloading studies.
+
+namespace ntco::sim {
+
+/// Opaque handle for a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+/// Single-threaded discrete-event simulator.
+///
+/// Usage:
+///   Simulator sim;
+///   sim.schedule_after(Duration::millis(5), [&]{ ... });
+///   sim.run();
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulated time. Monotonically non-decreasing.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t`. Pre: t >= now().
+  EventId schedule_at(TimePoint t, Handler fn) {
+    NTCO_EXPECTS(t >= now_);
+    NTCO_EXPECTS(fn != nullptr);
+    const EventId id = next_seq_++;
+    queue_.push(Event{t, id, std::move(fn)});
+    pending_ids_.insert(id);
+    return id;
+  }
+
+  /// Schedules `fn` after a non-negative delay from now.
+  EventId schedule_after(Duration d, Handler fn) {
+    NTCO_EXPECTS(!d.is_negative());
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id) {
+    if (pending_ids_.erase(id) == 0) return false;
+    cancelled_.insert(id);
+    return true;
+  }
+
+  /// Number of events still pending (excludes cancelled ones).
+  [[nodiscard]] std::size_t pending() const { return pending_ids_.size(); }
+
+  /// Fires the earliest pending event. Returns false if none remain.
+  bool step() {
+    while (!queue_.empty()) {
+      // Copy out the handler before popping so that the handler may schedule
+      // new events (which may reallocate the queue) safely.
+      Event ev = queue_.top();
+      queue_.pop();
+      if (cancelled_.erase(ev.seq) > 0) continue;
+      now_ = ev.time;
+      pending_ids_.erase(ev.seq);
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  /// Runs until no events remain. Returns the number of events fired.
+  std::size_t run() {
+    std::size_t n = 0;
+    while (step()) ++n;
+    return n;
+  }
+
+  /// Fires every event with time <= `horizon`, then advances the clock to
+  /// `horizon`. Returns the number of events fired.
+  std::size_t run_until(TimePoint horizon) {
+    NTCO_EXPECTS(horizon >= now_);
+    std::size_t n = 0;
+    for (;;) {
+      drop_cancelled_head();
+      if (queue_.empty() || queue_.top().time > horizon) break;
+      if (step()) ++n;
+    }
+    now_ = horizon;
+    return n;
+  }
+
+  /// Time of the earliest pending (non-cancelled) event.
+  /// Pre: pending() > 0.
+  [[nodiscard]] TimePoint next_event_time() {
+    drop_cancelled_head();
+    NTCO_EXPECTS(!queue_.empty());
+    return queue_.top().time;
+  }
+
+ private:
+  struct Event {
+    TimePoint time;
+    EventId seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  void drop_cancelled_head() {
+    while (!queue_.empty() && cancelled_.erase(queue_.top().seq) > 0)
+      queue_.pop();
+  }
+
+  TimePoint now_;
+  EventId next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> pending_ids_;
+};
+
+}  // namespace ntco::sim

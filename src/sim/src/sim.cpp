@@ -1,0 +1,5 @@
+// The simulation kernel is header-only; this translation unit exists so the
+// module builds as a normal static library and the headers get compiled
+// (and their warnings surfaced) even before any consumer exists.
+#include "ntco/sim/server_pool.hpp"
+#include "ntco/sim/simulator.hpp"

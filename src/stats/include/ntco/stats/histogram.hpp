@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ntco/common/contracts.hpp"
+
+/// \file histogram.hpp
+/// Fixed-bin linear histogram with under/overflow buckets, plus an ASCII
+/// renderer for quick inspection of simulated distributions.
+
+namespace ntco::stats {
+
+/// Linear-binned histogram over [lo, hi).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    NTCO_EXPECTS(bins > 0);
+    NTCO_EXPECTS(lo < hi);
+  }
+
+  void add(double x) {
+    NTCO_EXPECTS(std::isfinite(x));
+    ++total_;
+    if (x < lo_) {
+      ++underflow_;
+    } else if (x >= hi_) {
+      ++overflow_;
+    } else {
+      const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+      auto idx = static_cast<std::size_t>((x - lo_) / w);
+      if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+      ++counts_[idx];
+    }
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const {
+    NTCO_EXPECTS(i < counts_.size());
+    return counts_[i];
+  }
+  [[nodiscard]] double bin_lo(std::size_t i) const {
+    NTCO_EXPECTS(i < counts_.size());
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + w * static_cast<double>(i);
+  }
+
+  /// Fraction of in-range mass at or below the upper edge of bin i.
+  [[nodiscard]] double cdf_at_bin(std::size_t i) const {
+    NTCO_EXPECTS(i < counts_.size());
+    std::uint64_t cum = underflow_;
+    for (std::size_t k = 0; k <= i; ++k) cum += counts_[k];
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(cum) / static_cast<double>(total_);
+  }
+
+  /// Multi-line ASCII bar rendering (one row per bin), for logs.
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ntco::stats

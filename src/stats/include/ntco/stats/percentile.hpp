@@ -1,0 +1,73 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "ntco/common/contracts.hpp"
+
+/// \file percentile.hpp
+/// Exact empirical percentiles over a retained sample.
+///
+/// The simulators produce at most a few million observations per experiment,
+/// so exact percentiles (sort on demand, amortised) are affordable and avoid
+/// sketch-approximation error in reported tail latencies.
+
+namespace ntco::stats {
+
+/// Collects observations and answers exact quantile queries.
+class PercentileSample {
+ public:
+  void add(double x) {
+    NTCO_EXPECTS(std::isfinite(x));
+    data_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Empirical quantile with linear interpolation (type-7, the R default).
+  /// Pre: !empty(), 0 <= q <= 1.
+  [[nodiscard]] double quantile(double q) const {
+    NTCO_EXPECTS(!data_.empty());
+    NTCO_EXPECTS(q >= 0.0 && q <= 1.0);
+    ensure_sorted();
+    const double h = q * static_cast<double>(data_.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(h));
+    const auto hi = std::min(lo + 1, data_.size() - 1);
+    const double frac = h - static_cast<double>(lo);
+    return data_[lo] + frac * (data_[hi] - data_[lo]);
+  }
+
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+
+  [[nodiscard]] double mean() const {
+    NTCO_EXPECTS(!data_.empty());
+    double s = 0.0;
+    for (double x : data_) s += x;
+    return s / static_cast<double>(data_.size());
+  }
+
+  void clear() {
+    data_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(data_.begin(), data_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> data_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace ntco::stats

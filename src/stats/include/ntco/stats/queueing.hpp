@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+
+#include "ntco/common/contracts.hpp"
+
+/// \file queueing.hpp
+/// Closed-form queueing results used to size pools analytically and to
+/// cross-validate the simulators (the M/M/c property tests check the edge
+/// platform against these formulas).
+
+namespace ntco::stats {
+
+/// Erlang-B blocking probability: `servers` servers, no queue, offered
+/// load `a` Erlangs. Stable recurrence B(n) = aB(n-1) / (n + aB(n-1)).
+[[nodiscard]] double erlang_b(std::size_t servers, double a);
+
+/// Erlang-C probability that an arrival must wait in an M/M/c queue with
+/// offered load `a` Erlangs. Pre: a < servers (stability); returns 1.0 at
+/// or beyond saturation.
+[[nodiscard]] double erlang_c(std::size_t servers, double a);
+
+/// Mean wait in queue of an M/M/c system, in multiples of the mean service
+/// time: Wq = C(c, a) / (c - a). Returns +inf at or beyond saturation.
+[[nodiscard]] double mmc_mean_wait_in_service_times(std::size_t servers,
+                                                    double a);
+
+/// Mean number in queue (Lq) of an M/M/c system.
+[[nodiscard]] double mmc_mean_queue_length(std::size_t servers, double a);
+
+}  // namespace ntco::stats

@@ -1,0 +1,29 @@
+#include "ntco/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ntco::stats {
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+
+  std::ostringstream out;
+  char label[64];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    std::snprintf(label, sizeof label, "[%10.3f, %10.3f)", bin_lo(i),
+                  bin_lo(i) + w);
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out << label << ' ' << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  if (underflow_ > 0) out << "underflow: " << underflow_ << '\n';
+  if (overflow_ > 0) out << "overflow: " << overflow_ << '\n';
+  return out.str();
+}
+
+}  // namespace ntco::stats

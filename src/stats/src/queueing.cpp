@@ -1,0 +1,42 @@
+#include "ntco/stats/queueing.hpp"
+
+#include <limits>
+
+namespace ntco::stats {
+
+double erlang_b(std::size_t servers, double a) {
+  NTCO_EXPECTS(a >= 0.0);
+  if (a == 0.0) return servers == 0 ? 1.0 : 0.0;
+  double b = 1.0;
+  for (std::size_t n = 1; n <= servers; ++n) {
+    const double k = static_cast<double>(n);
+    b = a * b / (k + a * b);
+  }
+  return b;
+}
+
+double erlang_c(std::size_t servers, double a) {
+  NTCO_EXPECTS(a >= 0.0);
+  NTCO_EXPECTS(servers > 0);
+  const double c = static_cast<double>(servers);
+  if (a >= c) return 1.0;
+  // C = c*B / (c - a(1-B)) with B the Erlang-B value.
+  const double b = erlang_b(servers, a);
+  return c * b / (c - a * (1.0 - b));
+}
+
+double mmc_mean_wait_in_service_times(std::size_t servers, double a) {
+  NTCO_EXPECTS(servers > 0);
+  const double c = static_cast<double>(servers);
+  if (a >= c) return std::numeric_limits<double>::infinity();
+  return erlang_c(servers, a) / (c - a);
+}
+
+double mmc_mean_queue_length(std::size_t servers, double a) {
+  // Lq = lambda * Wq = a * Wq / s  (with Wq in service times, lambda = a/s
+  // per service time) => Lq = a * C / (c - a).
+  const double wq = mmc_mean_wait_in_service_times(servers, a);
+  return a * wq;
+}
+
+}  // namespace ntco::stats

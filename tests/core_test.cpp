@@ -1,0 +1,183 @@
+#include "ntco/core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntco/app/workloads.hpp"
+#include "ntco/common/error.hpp"
+
+namespace ntco::core {
+namespace {
+
+/// Everything one end-to-end test needs, wired together.
+struct Fixture {
+  sim::Simulator sim;
+  serverless::Platform platform;
+  device::Device ue;
+  net::NetworkPath path;
+  OffloadController controller;
+
+  explicit Fixture(ControllerConfig cfg = {},
+                   net::TechProfile tech = net::profile_4g(),
+                   serverless::PlatformConfig pcfg = {})
+      : platform(sim, pcfg),
+        ue(device::budget_phone()),
+        path(net::make_fixed_path(tech)),
+        controller(sim, platform, ue, path, cfg) {}
+};
+
+TEST(MakeEnvironment, ReflectsPlatformDeviceAndNetwork) {
+  Fixture fx;
+  const auto g = app::workloads::photo_backup();
+  const auto env = fx.controller.make_environment(g);
+  EXPECT_EQ(env.device.name, "budget-phone");
+  EXPECT_EQ(env.uplink, net::profile_4g().uplink);
+  EXPECT_EQ(env.downlink_latency, net::profile_4g().one_way_latency);
+  // Reference memory of 1792 MB buys exactly one 2.5 GHz vCPU.
+  EXPECT_EQ(env.remote_speed, Frequency::gigahertz(2.5));
+  // Overhead includes the amortised cold-start share.
+  EXPECT_GT(env.remote_overhead, Duration::zero());
+  EXPECT_GT(env.remote_price_per_second, Money::zero());
+}
+
+TEST(Prepare, DeploysOneFunctionPerRemoteComponent) {
+  Fixture fx;
+  const auto g = app::workloads::ml_batch_training();
+  const partition::MinCutPartitioner mincut;
+  const auto plan = fx.controller.prepare(g, mincut);
+  ASSERT_EQ(plan.function_of.size(), g.component_count());
+  std::size_t deployed = 0;
+  for (app::ComponentId id = 0; id < g.component_count(); ++id) {
+    if (plan.is_remote(id)) {
+      ASSERT_NE(plan.function_of[id], DeploymentPlan::kInvalidFunction);
+      // Memory respects the component's working set.
+      EXPECT_GE(plan.memory_of[id], g.component(id).memory);
+      EXPECT_EQ(fx.platform.spec(plan.function_of[id]).memory,
+                plan.memory_of[id]);
+      ++deployed;
+    } else {
+      EXPECT_EQ(plan.function_of[id], DeploymentPlan::kInvalidFunction);
+    }
+  }
+  EXPECT_EQ(fx.platform.function_count(), deployed);
+  EXPECT_GT(deployed, 0u);  // ML training must offload on 4G
+}
+
+TEST(Prepare, RespectsPinsAndPredictsCosts) {
+  Fixture fx;
+  const auto g = app::workloads::nightly_etl();
+  const partition::MinCutPartitioner mincut;
+  const auto plan = fx.controller.prepare(g, mincut);
+  EXPECT_TRUE(plan.partition.respects_pins(g));
+  EXPECT_GT(plan.predicted.latency, Duration::zero());
+  EXPECT_GT(plan.predicted.objective, 0.0);
+}
+
+TEST(Execute, LocalOnlyPlanMatchesDeviceMath) {
+  Fixture fx;
+  const auto g = app::workloads::photo_backup();
+  const partition::LocalOnlyPartitioner local;
+  const auto plan = fx.controller.prepare(g, local);
+  const auto r = fx.controller.execute(plan, g);
+  // Per-component times/energies round independently, so sum them the same
+  // way the run does.
+  const device::Device ref(device::budget_phone());
+  Duration expected_time;
+  Energy expected_energy;
+  for (const auto& c : g.components()) {
+    expected_time += ref.exec_time(c.work);
+    expected_energy += ref.exec_energy(c.work);
+  }
+  EXPECT_EQ(r.makespan, expected_time);
+  EXPECT_EQ(r.local_compute, r.makespan);
+  EXPECT_TRUE(r.cloud_cost.is_zero());
+  EXPECT_EQ(r.remote_invocations, 0u);
+  EXPECT_TRUE(r.transfer.is_zero());
+  EXPECT_EQ(r.device_energy, expected_energy);
+}
+
+TEST(Execute, OffloadedPlanBeatsLocalForComputeHeavyApp) {
+  Fixture fx;
+  const auto g = app::workloads::ml_batch_training();
+  const auto local_plan =
+      fx.controller.prepare(g, partition::LocalOnlyPartitioner{});
+  const auto local_run = fx.controller.execute(local_plan, g);
+  const auto cut_plan =
+      fx.controller.prepare(g, partition::MinCutPartitioner{});
+  const auto cut_run = fx.controller.execute(cut_plan, g);
+
+  EXPECT_LT(cut_run.makespan, local_run.makespan);
+  EXPECT_LT(cut_run.device_energy, local_run.device_energy);
+  EXPECT_GT(cut_run.cloud_cost, Money::zero());
+  EXPECT_GT(cut_run.remote_invocations, 0u);
+  EXPECT_GT(cut_run.transfer, Duration::zero());
+}
+
+TEST(Execute, PredictionTracksMeasurementOnWarmRuns) {
+  Fixture fx;
+  const auto g = app::workloads::ml_batch_training();
+  const auto plan = fx.controller.prepare(g, partition::MinCutPartitioner{});
+  (void)fx.controller.execute(plan, g);  // warm the instances
+  const auto warm = fx.controller.execute(plan, g);
+  // The separable model and the simulator agree within 20% once cold
+  // starts are out of the picture (fixed links, sequential execution).
+  const double predicted = plan.predicted.latency.to_seconds();
+  const double measured = warm.makespan.to_seconds();
+  EXPECT_NEAR(measured / predicted, 1.0, 0.2);
+}
+
+TEST(Execute, ColdThenWarmRunsGetFaster) {
+  Fixture fx;
+  const auto g = app::workloads::ml_batch_training();
+  const auto plan = fx.controller.prepare(g, partition::MinCutPartitioner{});
+  const auto first = fx.controller.execute(plan, g);
+  const auto second = fx.controller.execute(plan, g);
+  EXPECT_GT(first.cold_starts, 0u);
+  EXPECT_EQ(second.cold_starts, 0u);
+  EXPECT_LT(second.makespan, first.makespan);
+}
+
+TEST(Execute, EgressIsChargedOnDownloads) {
+  Fixture fx;
+  const auto g = app::workloads::ml_batch_training();
+  const auto plan = fx.controller.prepare(g, partition::MinCutPartitioner{});
+  const auto r = fx.controller.execute(plan, g);
+  // The run downloads the compressed model (and any boundary data), so the
+  // cloud bill must exceed pure invocation cost.
+  Money invocation_only;
+  const auto st = fx.platform.stats();
+  invocation_only = st.exec_cost + st.request_cost;
+  EXPECT_GT(r.cloud_cost, invocation_only - Money::nano_usd(1));
+}
+
+TEST(Execute, AsyncRunsCanOverlap) {
+  Fixture fx;
+  const auto g = app::workloads::photo_backup();
+  const auto plan = fx.controller.prepare(g, partition::MinCutPartitioner{});
+  int done = 0;
+  for (int i = 0; i < 3; ++i)
+    fx.controller.execute_async(plan, g,
+                                [&](const ExecutionReport&) { ++done; });
+  fx.sim.run();
+  EXPECT_EQ(done, 3);
+}
+
+TEST(Execute, MismatchedPlanRejected) {
+  Fixture fx;
+  const auto g = app::workloads::photo_backup();
+  const auto other = app::workloads::nightly_etl();
+  const auto plan = fx.controller.prepare(g, partition::LocalOnlyPartitioner{});
+  EXPECT_THROW((void)fx.controller.execute(plan, other), ContractViolation);
+}
+
+TEST(Controller, BadConfigRejected) {
+  sim::Simulator s;
+  serverless::Platform platform(s, {});
+  device::Device ue(device::budget_phone());
+  auto path = net::make_fixed_path(net::profile_4g());
+  ControllerConfig cfg;
+  cfg.expected_warm_rate = 1.5;
+  EXPECT_THROW(OffloadController(s, platform, ue, path, cfg), ConfigError);
+}
+
+}  // namespace
+}  // namespace ntco::core

@@ -1,0 +1,188 @@
+// Tests of the dataflow (parallel) execution mode: concurrency where the
+// DAG allows it, serialisation where resources demand it, and agreement
+// with sequential mode on chains.
+
+#include <gtest/gtest.h>
+
+#include "ntco/app/generators.hpp"
+#include "ntco/app/workloads.hpp"
+#include "ntco/common/error.hpp"
+#include "ntco/core/controller.hpp"
+
+namespace ntco::core {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  serverless::Platform platform;
+  device::Device ue;
+  net::NetworkPath path;
+  OffloadController controller;
+
+  explicit Fixture(ExecutionMode mode,
+                   partition::Objective obj = partition::Objective::latency())
+      : platform(sim, {}),
+        ue(device::budget_phone()),
+        path(net::make_fixed_path(net::profile_wifi())),
+        controller(sim, platform, ue, path, make_cfg(mode, obj)) {}
+
+  static ControllerConfig make_cfg(ExecutionMode mode,
+                                   partition::Objective obj) {
+    ControllerConfig cfg;
+    cfg.execution_mode = mode;
+    cfg.objective = obj;
+    return cfg;
+  }
+};
+
+/// Fan-out with cheap pinned endpoints, so the workers dominate and remote
+/// concurrency is visible end to end.
+app::TaskGraph wide_fanout() {
+  app::TaskGraph g("wide-fanout");
+  const auto mem = DataSize::megabytes(192);
+  const auto img = DataSize::megabytes(20);
+  const auto split =
+      g.add_component({"split", Cycles::mega(50), mem, img, true, 0.8});
+  const auto join =
+      g.add_component({"join", Cycles::mega(50), mem, img, true, 0.8});
+  for (int i = 0; i < 8; ++i) {
+    const auto w = g.add_component({"worker" + std::to_string(i),
+                                    Cycles::giga(8), mem, img, false, 0.8});
+    g.add_flow(split, w, DataSize::kilobytes(50));
+    g.add_flow(w, join, DataSize::kilobytes(50));
+  }
+  return g;
+}
+
+TEST(ParallelExec, ChainMatchesSequentialLocally) {
+  // On a pure chain there is no parallelism to exploit: local-only plans
+  // must produce identical makespans in both modes.
+  app::GeneratorParams p;
+  p.components = 5;
+  p.work_cv = 0.0;
+  p.flow_cv = 0.0;
+  const auto chain = app::linear_pipeline(p, Rng(2));
+
+  Fixture seq(ExecutionMode::Sequential), par(ExecutionMode::Parallel);
+  const auto seq_run = seq.controller.execute(
+      seq.controller.prepare(chain, partition::LocalOnlyPartitioner{}), chain);
+  const auto par_run = par.controller.execute(
+      par.controller.prepare(chain, partition::LocalOnlyPartitioner{}), chain);
+  EXPECT_EQ(seq_run.makespan, par_run.makespan);
+  EXPECT_EQ(seq_run.local_compute, par_run.local_compute);
+}
+
+TEST(ParallelExec, FanOutGainsFromRemoteConcurrency) {
+  const auto g = wide_fanout();
+  Fixture seq(ExecutionMode::Sequential), par(ExecutionMode::Parallel);
+  const auto seq_plan =
+      seq.controller.prepare(g, partition::RemoteAllPartitioner{});
+  (void)seq.controller.execute(seq_plan, g);  // warm
+  const auto seq_run = seq.controller.execute(seq_plan, g);
+
+  const auto par_plan =
+      par.controller.prepare(g, partition::RemoteAllPartitioner{});
+  (void)par.controller.execute(par_plan, g);  // warm
+  const auto par_run = par.controller.execute(par_plan, g);
+
+  // Eight 8-Gcycle workers run concurrently in the cloud: the dataflow
+  // executor must be several times faster end to end.
+  EXPECT_LT(par_run.makespan * 3.0, seq_run.makespan);
+  // Both executed the same work remotely.
+  EXPECT_EQ(par_run.remote_invocations, seq_run.remote_invocations);
+  EXPECT_EQ(par_run.remote_compute, seq_run.remote_compute);
+}
+
+TEST(ParallelExec, LocalComponentsSerialiseOnTheSingleCore) {
+  // All-local fan-out: eight workers cannot run concurrently on one UE
+  // core, so the parallel makespan equals the sum of component times.
+  const auto g = wide_fanout();
+  Fixture par(ExecutionMode::Parallel);
+  const auto plan =
+      par.controller.prepare(g, partition::LocalOnlyPartitioner{});
+  const auto run = par.controller.execute(plan, g);
+  Duration expected;
+  for (const auto& c : g.components())
+    expected += par.ue.exec_time(c.work);
+  EXPECT_EQ(run.makespan, expected);
+}
+
+TEST(ParallelExec, UplinkTransfersSerialise) {
+  // Split(local) fans out to 8 remote workers: the 8 uploads share one
+  // radio, so the last upload starts no earlier than 7 transfer times in.
+  const auto g = wide_fanout();
+  Fixture par(ExecutionMode::Parallel);
+  const auto plan =
+      par.controller.prepare(g, partition::RemoteAllPartitioner{});
+  (void)par.controller.execute(plan, g);
+  const auto run = par.controller.execute(plan, g);
+  // Total radio time is the sum of all boundary transfers even though the
+  // cloud side overlaps.
+  Duration per_upload;
+  for (const std::size_t fi : g.out_flows(0))
+    per_upload += net::FixedLink(net::profile_wifi().one_way_latency,
+                                 net::profile_wifi().uplink)
+                      .transfer_time(g.flow(fi).bytes);
+  EXPECT_GE(run.transfer, per_upload);
+  // And the makespan includes at least the serialised upload train.
+  EXPECT_GT(run.makespan, per_upload);
+}
+
+TEST(ParallelExec, ReportsAreInternallyConsistent) {
+  const auto g = app::workloads::photo_backup();
+  Fixture par(ExecutionMode::Parallel,
+              partition::Objective::non_time_critical());
+  const auto plan = par.controller.prepare(g, partition::MinCutPartitioner{});
+  const auto run = par.controller.execute(plan, g);
+  EXPECT_GT(run.makespan, Duration::zero());
+  EXPECT_GE(run.makespan, run.local_compute);
+  EXPECT_GT(run.device_energy, Energy::zero());
+  if (plan.partition.remote_count() > 0) {
+    EXPECT_GT(run.remote_invocations, 0u);
+  }
+}
+
+TEST(ParallelExec, ParallelNeverSlowerThanSequentialOnWorkloads) {
+  for (const auto& g : app::workloads::all()) {
+    Fixture seq(ExecutionMode::Sequential), par(ExecutionMode::Parallel);
+    const auto sp = seq.controller.prepare(g, partition::MinCutPartitioner{});
+    (void)seq.controller.execute(sp, g);
+    const auto s = seq.controller.execute(sp, g);
+    const auto pp = par.controller.prepare(g, partition::MinCutPartitioner{});
+    (void)par.controller.execute(pp, g);
+    const auto p = par.controller.execute(pp, g);
+    EXPECT_LE(p.makespan, s.makespan) << g.name();
+  }
+}
+
+TEST(ParallelExec, ConcurrentRunsComplete) {
+  const auto g = wide_fanout();
+  Fixture par(ExecutionMode::Parallel);
+  const auto plan =
+      par.controller.prepare(g, partition::RemoteAllPartitioner{});
+  int done = 0;
+  for (int i = 0; i < 4; ++i)
+    par.controller.execute_async(plan, g,
+                                 [&](const ExecutionReport&) { ++done; });
+  par.sim.run();
+  EXPECT_EQ(done, 4);
+}
+
+TEST(ParallelExec, CyclicGraphRejected) {
+  app::TaskGraph g("cyclic");
+  const auto a = g.add_component({"a", Cycles::mega(1), {}, {}, false, 0.8});
+  const auto b = g.add_component({"b", Cycles::mega(1), {}, {}, false, 0.8});
+  g.add_flow(a, b, DataSize::bytes(1));
+  g.add_flow(b, a, DataSize::bytes(1));
+  Fixture par(ExecutionMode::Parallel);
+  DeploymentPlan plan;
+  plan.partition = partition::Partition::all_local(2);
+  plan.function_of.assign(2, DeploymentPlan::kInvalidFunction);
+  plan.memory_of.assign(2, DataSize::zero());
+  EXPECT_THROW(
+      par.controller.execute_async(plan, g, [](const ExecutionReport&) {}),
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace ntco::core

@@ -1,0 +1,156 @@
+#include "ntco/profile/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntco/app/workloads.hpp"
+#include "ntco/common/error.hpp"
+
+namespace ntco::profile {
+namespace {
+
+TEST(TraceGenerator, NoiseFreeTracesEqualTruth) {
+  const auto truth = app::workloads::photo_backup();
+  TraceGenerator gen(truth, 0.0, Rng(1));
+  const auto t = gen.next();
+  ASSERT_EQ(t.components.size(), truth.component_count());
+  ASSERT_EQ(t.flows.size(), truth.flow_count());
+  for (const auto& o : t.components)
+    EXPECT_EQ(o.cycles, truth.component(o.id).work);
+  for (const auto& o : t.flows)
+    EXPECT_EQ(o.bytes, truth.flow(o.flow).bytes);
+}
+
+TEST(TraceGenerator, NoisyTracesAreUnbiasedOnAverage) {
+  const auto truth = app::workloads::nightly_etl();
+  TraceGenerator gen(truth, 0.3, Rng(2));
+  double sum = 0.0;
+  const int n = 3000;
+  const double t0 = static_cast<double>(truth.component(1).work.value());
+  for (int i = 0; i < n; ++i)
+    sum += static_cast<double>(gen.next().components[1].cycles.value());
+  EXPECT_NEAR(sum / n / t0, 1.0, 0.03);  // mean-1 lognormal noise
+}
+
+TEST(TraceGenerator, BiasShiftsAllObservations) {
+  const auto truth = app::workloads::photo_backup();
+  TraceGenerator gen(truth, 0.0, Rng(3), 1.1);
+  const auto t = gen.next();
+  for (const auto& o : t.components)
+    EXPECT_NEAR(static_cast<double>(o.cycles.value()),
+                static_cast<double>(truth.component(o.id).work.value()) * 1.1,
+                2.0);
+}
+
+TEST(TraceGenerator, ScaleModelsDrift) {
+  const auto truth = app::workloads::photo_backup();
+  TraceGenerator gen(truth, 0.0, Rng(4));
+  const auto before = gen.next();
+  gen.set_scale(2.0);
+  const auto after = gen.next();
+  EXPECT_NEAR(static_cast<double>(after.components[1].cycles.value()),
+              2.0 * static_cast<double>(before.components[1].cycles.value()),
+              2.0);
+  EXPECT_THROW(gen.set_scale(0.0), ContractViolation);
+}
+
+TEST(DemandProfiler, ConvergesToTruthWithTraces) {
+  const auto truth = app::workloads::ml_batch_training();
+  TraceGenerator gen(truth, 0.4, Rng(5));
+  DemandProfiler few(truth.component_count(), truth.flow_count());
+  DemandProfiler many(truth.component_count(), truth.flow_count());
+  for (int i = 0; i < 5; ++i) {
+    const auto t = gen.next();
+    few.ingest(t);
+    many.ingest(t);
+  }
+  for (int i = 0; i < 495; ++i) many.ingest(gen.next());
+  EXPECT_LT(many.max_relative_error(truth), few.max_relative_error(truth));
+  EXPECT_LT(many.max_relative_error(truth), 0.10);
+}
+
+TEST(DemandProfiler, EstimateExposesDispersion) {
+  const auto truth = app::workloads::photo_backup();
+  TraceGenerator gen(truth, 0.5, Rng(6));
+  DemandProfiler prof(truth.component_count(), truth.flow_count());
+  for (int i = 0; i < 300; ++i) prof.ingest(gen.next());
+  const auto est = prof.component(1);
+  EXPECT_EQ(est.samples, 300u);
+  EXPECT_NEAR(est.cv, 0.5, 0.1);
+  EXPECT_GT(est.p95, est.mean);
+}
+
+TEST(DemandProfiler, EstimatedGraphPreservesStructureAndPins) {
+  const auto truth = app::workloads::nightly_etl();
+  TraceGenerator gen(truth, 0.2, Rng(7));
+  DemandProfiler prof(truth.component_count(), truth.flow_count());
+  for (int i = 0; i < 100; ++i) prof.ingest(gen.next());
+  const auto est = prof.estimated_graph(truth);
+  ASSERT_EQ(est.component_count(), truth.component_count());
+  ASSERT_EQ(est.flow_count(), truth.flow_count());
+  for (app::ComponentId i = 0; i < truth.component_count(); ++i) {
+    EXPECT_EQ(est.component(i).pinned_local, truth.component(i).pinned_local);
+    EXPECT_EQ(est.component(i).memory, truth.component(i).memory);
+  }
+  for (std::size_t fi = 0; fi < truth.flow_count(); ++fi) {
+    EXPECT_EQ(est.flow(fi).from, truth.flow(fi).from);
+    EXPECT_EQ(est.flow(fi).to, truth.flow(fi).to);
+  }
+  // Conservative estimation never yields smaller demands than the mean.
+  const auto cons = prof.estimated_graph(truth, /*conservative=*/true);
+  for (app::ComponentId i = 0; i < truth.component_count(); ++i)
+    EXPECT_GE(cons.component(i).work, est.component(i).work);
+}
+
+TEST(DemandProfiler, QueryBeforeObservationThrows) {
+  DemandProfiler prof(3, 2);
+  EXPECT_THROW((void)prof.component(0), ContractViolation);
+  EXPECT_THROW((void)prof.component(9), ContractViolation);
+  EXPECT_THROW((void)prof.flow(0), ContractViolation);
+}
+
+TEST(DriftDetector, QuietStreamNeverDrifts) {
+  DriftDetector det(0.2, 20);
+  Rng rng(8);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = Cycles::mega(
+        static_cast<std::uint64_t>(1000.0 * (1.0 + rng.normal(0.0, 0.05))));
+    EXPECT_FALSE(det.observe(v));
+  }
+  EXPECT_FALSE(det.drifted());
+}
+
+TEST(DriftDetector, DetectsSustainedShift) {
+  DriftDetector det(0.2, 10);
+  for (int i = 0; i < 10; ++i) (void)det.observe(Cycles::mega(1000));
+  bool detected = false;
+  for (int i = 0; i < 15; ++i) detected = det.observe(Cycles::mega(1500));
+  EXPECT_TRUE(detected);
+  EXPECT_NEAR(det.relative_change(), 0.5, 1e-9);
+}
+
+TEST(DriftDetector, SingleOutlierInWindowIsAbsorbed) {
+  DriftDetector det(0.5, 10);
+  for (int i = 0; i < 10; ++i) (void)det.observe(Cycles::mega(1000));
+  (void)det.observe(Cycles::mega(4000));  // one spike: +30% window mean
+  for (int i = 0; i < 9; ++i) (void)det.observe(Cycles::mega(1000));
+  EXPECT_FALSE(det.drifted());
+}
+
+TEST(DriftDetector, ResetRebaselineClearsDrift) {
+  DriftDetector det(0.2, 5);
+  for (int i = 0; i < 5; ++i) (void)det.observe(Cycles::mega(1000));
+  for (int i = 0; i < 6; ++i) (void)det.observe(Cycles::mega(2000));
+  EXPECT_TRUE(det.drifted());
+  det.reset_baseline();
+  EXPECT_FALSE(det.drifted());
+  // New level is now normal.
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(det.observe(Cycles::mega(2000)));
+}
+
+TEST(DriftDetector, InvalidConstructionThrows) {
+  EXPECT_THROW(DriftDetector(0.0, 5), ContractViolation);
+  EXPECT_THROW(DriftDetector(0.1, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ntco::profile

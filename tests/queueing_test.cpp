@@ -1,0 +1,106 @@
+// Queueing closed forms and the cross-validation of the edge simulator
+// against M/M/c theory — the substrate-level "is the simulator right"
+// property suite.
+
+#include <gtest/gtest.h>
+
+#include "ntco/common/error.hpp"
+#include "ntco/common/rng.hpp"
+#include "ntco/edgesim/edge_platform.hpp"
+#include "ntco/stats/accumulator.hpp"
+#include "ntco/stats/queueing.hpp"
+
+namespace ntco::stats {
+namespace {
+
+TEST(ErlangC, KnownValues) {
+  // Single server: C(1, rho) = rho (M/M/1 waiting probability).
+  EXPECT_NEAR(erlang_c(1, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(erlang_c(1, 0.9), 0.9, 1e-12);
+  // c=2, a=1: B = 1/5, C = 2*(1/5) / (2 - 1*(4/5)) = 0.4/1.2 = 1/3.
+  EXPECT_NEAR(erlang_c(2, 1.0), 1.0 / 3.0, 1e-12);
+  // Saturation clamps to 1.
+  EXPECT_DOUBLE_EQ(erlang_c(2, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(erlang_c(2, 5.0), 1.0);
+}
+
+TEST(ErlangC, MonotoneInLoadAndServers) {
+  for (double a = 0.5; a < 3.5; a += 0.5)
+    EXPECT_LT(erlang_c(4, a), erlang_c(4, a + 0.4));
+  for (std::size_t c = 2; c < 10; ++c)
+    EXPECT_GT(erlang_c(c, 1.5), erlang_c(c + 1, 1.5));
+}
+
+TEST(MMc, MeanWaitFormulas) {
+  // M/M/1 at rho = 0.5: Wq = rho/(1-rho) = 1 service time.
+  EXPECT_NEAR(mmc_mean_wait_in_service_times(1, 0.5), 1.0, 1e-12);
+  // Lq = a * Wq.
+  EXPECT_NEAR(mmc_mean_queue_length(1, 0.5), 0.5, 1e-12);
+  EXPECT_TRUE(std::isinf(mmc_mean_wait_in_service_times(3, 3.0)));
+}
+
+TEST(MMc, ContractsRejectBadInput) {
+  EXPECT_THROW((void)erlang_c(0, 1.0), ContractViolation);
+  EXPECT_THROW((void)erlang_c(2, -1.0), ContractViolation);
+}
+
+/// Property sweep: the edge platform fed Poisson arrivals of exponential
+/// work must match the M/M/c mean wait within simulation noise.
+struct MmcCase {
+  std::size_t servers;
+  double rho;  ///< utilisation per server = a / c
+};
+
+class EdgeMmcProperty : public ::testing::TestWithParam<MmcCase> {};
+
+TEST_P(EdgeMmcProperty, EdgePlatformMatchesTheory) {
+  const auto [servers, rho] = GetParam();
+  const double a = rho * static_cast<double>(servers);  // Erlangs
+
+  sim::Simulator simulator;
+  edgesim::EdgeConfig cfg;
+  cfg.servers = servers;
+  cfg.server_speed = Frequency::gigahertz(1.0);
+  cfg.request_overhead = Duration::zero();  // pure M/M/c
+  edgesim::EdgePlatform edge(simulator, cfg);
+
+  const double mean_service_s = 0.5;  // 0.5 Gcyc at 1 GHz
+  const double lambda = a / mean_service_s;
+
+  Rng rng(42 + servers);
+  Accumulator waits;
+  TimePoint at = TimePoint::origin();
+  constexpr int kWarmup = 10'000;  // discard the empty-system transient
+  constexpr int kJobs = 150'000;
+  int seen = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    at = at + Duration::from_seconds(rng.exponential(1.0 / lambda));
+    const auto work = Cycles::count(static_cast<std::uint64_t>(
+        std::max(1.0, rng.exponential(mean_service_s) * 1e9)));
+    simulator.schedule_at(at, [&edge, &waits, &seen, work] {
+      edge.submit(work, [&waits, &seen](const edgesim::EdgeResult& r) {
+        if (++seen > kWarmup) waits.add(r.queue_wait.to_seconds());
+      });
+    });
+  }
+  simulator.run();
+
+  const double expected_wait_s =
+      mmc_mean_wait_in_service_times(servers, a) * mean_service_s;
+  ASSERT_EQ(waits.count(), static_cast<std::uint64_t>(kJobs - kWarmup));
+  // Long-run mean with warmup discarded: 10% relative tolerance.
+  EXPECT_NEAR(waits.mean(), expected_wait_s,
+              std::max(0.01, expected_wait_s * 0.10))
+      << "c=" << servers << " rho=" << rho;
+  // Utilisation must match the offered load per server.
+  EXPECT_NEAR(edge.utilization(), rho, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EdgeMmcProperty,
+    ::testing::Values(MmcCase{1, 0.3}, MmcCase{1, 0.6}, MmcCase{1, 0.8},
+                      MmcCase{2, 0.5}, MmcCase{2, 0.8}, MmcCase{4, 0.6},
+                      MmcCase{4, 0.9}, MmcCase{8, 0.7}));
+
+}  // namespace
+}  // namespace ntco::stats

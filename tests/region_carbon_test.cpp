@@ -1,0 +1,111 @@
+// Region selection and carbon-aware deferral: the two placement freedoms
+// only delay-tolerant work has.
+
+#include <gtest/gtest.h>
+
+#include "ntco/alloc/region_selector.hpp"
+#include "ntco/common/error.hpp"
+#include "ntco/sched/carbon_planner.hpp"
+
+namespace ntco {
+namespace {
+
+TimePoint at_hours(double h) {
+  return TimePoint::origin() + Duration::from_seconds(h * 3600.0);
+}
+
+TEST(RegionSelector, MoneyOnlyPicksCheapestTariff) {
+  const alloc::RegionSelector sel(alloc::default_regions(), {1.0, 0.0, 0.0});
+  const auto pick = sel.choose(Money::from_usd(0.001), Duration::seconds(10));
+  EXPECT_EQ(sel.regions()[pick.region_index].name, "ap-south");
+  EXPECT_NEAR(pick.cost_per_invocation.to_usd(), 0.001 * 0.92, 1e-9);
+}
+
+TEST(RegionSelector, LatencyWeightPullsToTheNearestRegion) {
+  const alloc::RegionSelector sel(alloc::default_regions(),
+                                  {1.0, /*latency=*/10.0, 0.0});
+  const auto pick = sel.choose(Money::from_usd(0.001), Duration::seconds(10));
+  EXPECT_EQ(sel.regions()[pick.region_index].name, "near-metro");
+  EXPECT_TRUE(pick.round_trip_overhead.is_zero());
+}
+
+TEST(RegionSelector, CarbonWeightPicksTheHydroGrid) {
+  const alloc::RegionSelector sel(alloc::default_regions(),
+                                  {1.0, 0.0, /*carbon=*/1.0});
+  const auto pick = sel.choose(Money::from_usd(0.001), Duration::seconds(60));
+  EXPECT_EQ(sel.regions()[pick.region_index].name, "eu-north");
+}
+
+TEST(RegionSelector, EmissionsScaleWithExecutionTime) {
+  const alloc::RegionSelector sel(alloc::default_regions(), {0.0, 0.0, 1.0});
+  const auto short_run =
+      sel.score_all(Money::zero(), Duration::seconds(10));
+  const auto long_run =
+      sel.score_all(Money::zero(), Duration::seconds(100));
+  for (std::size_t i = 0; i < short_run.size(); ++i)
+    EXPECT_NEAR(long_run[i].gco2_per_invocation,
+                10.0 * short_run[i].gco2_per_invocation, 1e-9);
+  // 10 W for 3600 s = 0.01 kWh; at 420 g/kWh that is 4.2 g.
+  const auto hour = sel.score_all(Money::zero(), Duration::hours(1));
+  EXPECT_NEAR(hour[1].gco2_per_invocation, 4.2, 1e-9);
+}
+
+TEST(RegionSelector, RejectsMalformedMenus) {
+  EXPECT_THROW(alloc::RegionSelector({}, {}), ConfigError);
+  EXPECT_THROW(
+      alloc::RegionSelector({{"bad", 0.0, Duration::zero(), 100.0}}, {}),
+      ConfigError);
+}
+
+TEST(CarbonProfile, SolarGridShape) {
+  const auto grid = sched::CarbonProfile::solar_grid();
+  // Midday trough, evening peak, wraps across days.
+  EXPECT_LT(grid.at(at_hours(12)), grid.at(at_hours(3)));
+  EXPECT_GT(grid.at(at_hours(19)), grid.at(at_hours(12)) * 3.0);
+  EXPECT_DOUBLE_EQ(grid.at(at_hours(12)), grid.at(at_hours(36)));
+}
+
+TEST(CarbonProfile, FlatAndValidation) {
+  const auto flat = sched::CarbonProfile::flat(250.0);
+  EXPECT_DOUBLE_EQ(flat.at(at_hours(0)), 250.0);
+  EXPECT_DOUBLE_EQ(flat.at(at_hours(17.5)), 250.0);
+  std::array<double, 24> bad{};
+  bad[3] = -1.0;
+  EXPECT_THROW(sched::CarbonProfile{bad}, ConfigError);
+}
+
+TEST(CarbonAwarePlanner, DefersIntoTheSolarTrough) {
+  const sched::CarbonAwarePlanner planner(
+      sched::CarbonProfile::solar_grid());
+  // Released 02:00 with 14 h slack: the trough (11:00-13:00) is reachable.
+  const auto start = planner.plan_start(at_hours(2), Duration::hours(14),
+                                        Duration::minutes(10));
+  EXPECT_GE(start, at_hours(10.5));
+  EXPECT_LE(start, at_hours(13));
+  EXPECT_DOUBLE_EQ(planner.profile().at(start), 160.0);
+}
+
+TEST(CarbonAwarePlanner, TightSlackRunsImmediately) {
+  const sched::CarbonAwarePlanner planner(
+      sched::CarbonProfile::solar_grid());
+  const auto start = planner.plan_start(at_hours(19), Duration::minutes(30),
+                                        Duration::minutes(20));
+  EXPECT_EQ(start, at_hours(19));  // the peak, but there is no choice
+}
+
+TEST(CarbonAwarePlanner, FlatGridNeverDefers) {
+  const sched::CarbonAwarePlanner planner(sched::CarbonProfile::flat(300.0));
+  const auto start = planner.plan_start(at_hours(2), Duration::hours(20),
+                                        Duration::minutes(10));
+  EXPECT_EQ(start, at_hours(2));  // nothing to gain by waiting
+}
+
+TEST(CarbonAwarePlanner, EmissionsUseTheStartHourIntensity) {
+  const sched::CarbonAwarePlanner planner(
+      sched::CarbonProfile::solar_grid());
+  EXPECT_DOUBLE_EQ(planner.emissions(at_hours(12), 0.5), 80.0);  // 160 x 0.5
+  EXPECT_DOUBLE_EQ(planner.emissions(at_hours(19), 0.5), 260.0);
+}
+
+}  // namespace
+}  // namespace ntco

@@ -1,0 +1,125 @@
+// Progressive (blue/green) rollout: step gating, abort blast radius, and
+// config validation.
+
+#include <gtest/gtest.h>
+
+#include "ntco/app/workloads.hpp"
+#include "ntco/cicd/pipeline.hpp"
+#include "ntco/common/error.hpp"
+
+namespace ntco::cicd {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  serverless::Platform platform;
+  device::Device ue;
+  net::NetworkPath path;
+  core::OffloadController controller;
+
+  Fixture()
+      : platform(sim, {}),
+        ue(device::budget_phone()),
+        path(net::make_fixed_path(net::profile_4g())),
+        controller(sim, platform, ue, path, latency_cfg()) {}
+
+  static core::ControllerConfig latency_cfg() {
+    core::ControllerConfig cfg;
+    cfg.objective = partition::Objective::latency();
+    return cfg;
+  }
+};
+
+TEST(MeasuredObjective, AppliesTheWeights) {
+  core::ExecutionReport r;
+  r.makespan = Duration::seconds(10);
+  r.device_energy = Energy::joules(5.0);
+  r.cloud_cost = Money::from_usd(0.01);
+  EXPECT_DOUBLE_EQ(measured_objective({1.0, 0.0, 0.0}, r), 10.0);
+  EXPECT_DOUBLE_EQ(measured_objective({0.0, 1.0, 0.0}, r), 5.0);
+  EXPECT_DOUBLE_EQ(measured_objective({1.0, 2.0, 100.0}, r), 10 + 10 + 1);
+}
+
+TEST(ProgressiveRollout, GoodCandidateReachesFullTraffic) {
+  Fixture fx;
+  const auto g = app::workloads::ml_batch_training();
+  const auto incumbent =
+      fx.controller.prepare(g, partition::LocalOnlyPartitioner{});
+  const auto candidate =
+      fx.controller.prepare(g, partition::MinCutPartitioner{});
+
+  ProgressiveRollout::Config cfg;
+  cfg.runs_per_step = 6;
+  ProgressiveRollout rollout(fx.controller, cfg);
+  const auto report = rollout.roll(g, candidate, incumbent);
+
+  EXPECT_TRUE(report.completed);
+  ASSERT_EQ(report.steps.size(), 4u);  // all four steps executed
+  for (const auto& s : report.steps) {
+    EXPECT_TRUE(s.passed);
+    // The offloaded candidate beats the all-local incumbent everywhere.
+    EXPECT_LT(s.candidate_objective, s.incumbent_objective);
+  }
+  EXPECT_DOUBLE_EQ(report.exposure, 0.0);
+}
+
+TEST(ProgressiveRollout, BadCandidateAbortsAtFirstStepWithSmallExposure) {
+  Fixture fx;
+  const auto g = app::workloads::ml_batch_training();
+  // Incumbent offloads; the "candidate" regresses to all-local (much
+  // slower under the latency objective).
+  const auto incumbent =
+      fx.controller.prepare(g, partition::MinCutPartitioner{});
+  const auto candidate =
+      fx.controller.prepare(g, partition::LocalOnlyPartitioner{});
+
+  ProgressiveRollout::Config cfg;
+  cfg.runs_per_step = 10;
+  ProgressiveRollout rollout(fx.controller, cfg);
+  const auto report = rollout.roll(g, candidate, incumbent);
+
+  EXPECT_FALSE(report.completed);
+  ASSERT_EQ(report.steps.size(), 1u);  // aborted at 5% traffic
+  EXPECT_FALSE(report.steps[0].passed);
+  EXPECT_DOUBLE_EQ(report.steps[0].traffic, 0.05);
+  // Blast radius: one candidate run out of ten at the 5% step.
+  EXPECT_NEAR(report.exposure, 0.1, 1e-9);
+}
+
+TEST(ProgressiveRollout, StepRunCountsFollowTrafficShare) {
+  Fixture fx;
+  const auto g = app::workloads::photo_backup();
+  const auto plan = fx.controller.prepare(g, partition::MinCutPartitioner{});
+
+  ProgressiveRollout::Config cfg;
+  cfg.runs_per_step = 20;
+  ProgressiveRollout rollout(fx.controller, cfg);
+  // Warm the functions first: otherwise the candidate's single 5%-step run
+  // pays the cold start the incumbent's nineteen runs amortise away.
+  (void)fx.controller.execute(plan, g);
+  const auto report = rollout.roll(g, plan, plan);  // identical plans
+  ASSERT_TRUE(report.completed);
+  ASSERT_EQ(report.steps.size(), 4u);
+  EXPECT_EQ(report.steps[0].candidate_runs, 1u);   // 5% of 20
+  EXPECT_EQ(report.steps[1].candidate_runs, 5u);   // 25% of 20
+  EXPECT_EQ(report.steps[2].candidate_runs, 10u);  // 50% of 20
+  EXPECT_EQ(report.steps[3].candidate_runs, 20u);  // 100%
+  EXPECT_GE(report.steps[3].incumbent_runs, 1u);   // reference run
+}
+
+TEST(ProgressiveRollout, ConfigValidation) {
+  Fixture fx;
+  ProgressiveRollout::Config cfg;
+  cfg.traffic_steps = {};
+  EXPECT_THROW(ProgressiveRollout(fx.controller, cfg), ConfigError);
+  cfg.traffic_steps = {0.5, 0.25, 1.0};  // not increasing
+  EXPECT_THROW(ProgressiveRollout(fx.controller, cfg), ConfigError);
+  cfg.traffic_steps = {0.5, 0.9};  // does not end at 1.0
+  EXPECT_THROW(ProgressiveRollout(fx.controller, cfg), ConfigError);
+  cfg.traffic_steps = {0.5, 1.0};
+  cfg.runs_per_step = 1;
+  EXPECT_THROW(ProgressiveRollout(fx.controller, cfg), ConfigError);
+}
+
+}  // namespace
+}  // namespace ntco::cicd

@@ -1,0 +1,151 @@
+#include "ntco/sched/deferred_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntco/common/error.hpp"
+
+namespace ntco::sched {
+namespace {
+
+serverless::PlatformConfig night_discount() {
+  serverless::PlatformConfig cfg;
+  cfg.core_speed = Frequency::gigahertz(2.5);
+  // Half price between 22:00 and 06:00.
+  cfg.price_windows = {{22, 6, 0.5}, {6, 22, 1.0}};
+  return cfg;
+}
+
+serverless::FunctionId deploy_fn(serverless::Platform& p) {
+  return p.deploy({"job-runner", DataSize::megabytes(1792),
+                   DataSize::megabytes(20)});
+}
+
+TEST(DeferredScheduler, ImmediatePolicyStartsAtRelease) {
+  sim::Simulator s;
+  serverless::Platform p(s, night_discount());
+  DeferredScheduler sched(p, {Policy::Immediate, Duration::minutes(15),
+                              Duration::minutes(10)});
+  const DeferredJob job{"j", Cycles::giga(10), Duration::hours(12)};
+  const auto release = TimePoint::origin() + Duration::hours(9);
+  EXPECT_EQ(sched.plan_start(release, job, Duration::seconds(4)), release);
+}
+
+TEST(DeferredScheduler, CheapestWindowDefersIntoDiscount) {
+  sim::Simulator s;
+  serverless::Platform p(s, night_discount());
+  DeferredScheduler sched(p, {Policy::CheapestWindow, Duration::minutes(15),
+                              Duration::minutes(10)});
+  // Released 09:00 with 16 h slack: the 22:00 window is reachable.
+  const DeferredJob job{"j", Cycles::giga(10), Duration::hours(16)};
+  const auto release = TimePoint::origin() + Duration::hours(9);
+  const auto start = sched.plan_start(release, job, Duration::seconds(4));
+  EXPECT_GE(start, TimePoint::origin() + Duration::hours(22));
+  EXPECT_DOUBLE_EQ(p.price_multiplier(start), 0.5);
+}
+
+TEST(DeferredScheduler, TightSlackForbidsDeferral) {
+  sim::Simulator s;
+  serverless::Platform p(s, night_discount());
+  DeferredScheduler sched(p, {Policy::CheapestWindow, Duration::minutes(15),
+                              Duration::minutes(10)});
+  // Released 09:00 with 2 h slack: cannot reach the discount window.
+  const DeferredJob job{"j", Cycles::giga(10), Duration::hours(2)};
+  const auto release = TimePoint::origin() + Duration::hours(9);
+  const auto start = sched.plan_start(release, job, Duration::seconds(4));
+  EXPECT_EQ(start, release);  // no cheaper reachable tariff
+}
+
+TEST(DeferredScheduler, DeferralNeverViolatesLatestStart) {
+  sim::Simulator s;
+  serverless::Platform p(s, night_discount());
+  DeferredScheduler sched(p, {Policy::CheapestWindow, Duration::minutes(15),
+                              Duration::minutes(10)});
+  const DeferredJob job{"j", Cycles::giga(10), Duration::hours(16)};
+  const auto release = TimePoint::origin() + Duration::hours(9);
+  const Duration est = Duration::minutes(30);
+  const auto start = sched.plan_start(release, job, est);
+  EXPECT_LE(start + est, release + job.slack);
+}
+
+TEST(DeferredScheduler, LatestStartClampsToRelease) {
+  sim::Simulator s;
+  serverless::Platform p(s, night_discount());
+  DeferredScheduler sched(p, {});
+  const DeferredJob job{"j", Cycles::giga(10), Duration::minutes(1)};
+  const auto release = TimePoint::origin() + Duration::hours(1);
+  // Estimated duration exceeds the slack: start immediately (will miss).
+  EXPECT_EQ(sched.latest_start(release, job, Duration::minutes(5)), release);
+}
+
+TEST(DeferredScheduler, BatchedAlignsToBoundary) {
+  sim::Simulator s;
+  serverless::Platform p(s, night_discount());
+  DeferredScheduler sched(p, {Policy::Batched, Duration::minutes(15),
+                              Duration::minutes(60)});
+  const DeferredJob job{"j", Cycles::giga(10), Duration::hours(16)};
+  const auto release = TimePoint::origin() + Duration::hours(9) +
+                       Duration::minutes(7);
+  const auto start = sched.plan_start(release, job, Duration::seconds(4));
+  EXPECT_EQ(start.since_origin().count_micros() %
+                Duration::minutes(60).count_micros(),
+            0);
+  EXPECT_DOUBLE_EQ(p.price_multiplier(start), 0.5);
+}
+
+TEST(DeferredScheduler, InvalidConfigRejected) {
+  sim::Simulator s;
+  serverless::Platform p(s, night_discount());
+  EXPECT_THROW(DeferredScheduler(p, {Policy::Immediate, Duration::zero(),
+                                     Duration::minutes(1)}),
+               ContractViolation);
+}
+
+TEST(DeferredExecutor, DeferredJobsCostLessThanImmediate) {
+  // Two identical simulations; only the policy differs.
+  auto run = [](Policy policy) {
+    sim::Simulator s;
+    serverless::Platform p(s, night_discount());
+    const auto fn = deploy_fn(p);
+    DeferredExecutor exec(
+        s, p, fn,
+        DeferredScheduler(p, {policy, Duration::minutes(15),
+                              Duration::minutes(10)}));
+    // Jobs released across the working day with overnight slack.
+    for (int h = 8; h < 18; ++h)
+      s.schedule_at(TimePoint::origin() + Duration::hours(h), [&exec, h] {
+        exec.submit(DeferredJob{"job-" + std::to_string(h),
+                                Cycles::giga(250), Duration::hours(20)});
+      });
+    s.run();
+    return exec.report();
+  };
+
+  const auto immediate = run(Policy::Immediate);
+  const auto deferred = run(Policy::CheapestWindow);
+  ASSERT_EQ(immediate.jobs, 10u);
+  ASSERT_EQ(deferred.jobs, 10u);
+  EXPECT_EQ(immediate.deadline_misses, 0u);
+  EXPECT_EQ(deferred.deadline_misses, 0u);
+  // Night tariff is half price: the deferred bill must be clearly lower.
+  EXPECT_LT(deferred.total_cost, immediate.total_cost * 0.7);
+  // Deferral trades completion latency for money.
+  EXPECT_GT(deferred.completion_latency_s.median(),
+            immediate.completion_latency_s.median());
+}
+
+TEST(DeferredExecutor, ReportsMissesWhenSlackIsImpossible) {
+  sim::Simulator s;
+  serverless::Platform p(s, night_discount());
+  const auto fn = deploy_fn(p);
+  DeferredExecutor exec(s, p, fn, DeferredScheduler(p, {}));
+  // 250 Gcycles at 2.5 GHz is 100 s; 10 s slack cannot be met.
+  exec.submit(DeferredJob{"hopeless", Cycles::giga(250),
+                          Duration::seconds(10)});
+  s.run();
+  EXPECT_EQ(exec.report().jobs, 1u);
+  EXPECT_EQ(exec.report().deadline_misses, 1u);
+  EXPECT_DOUBLE_EQ(exec.report().miss_rate(), 1.0);
+}
+
+}  // namespace
+}  // namespace ntco::sched

@@ -1,0 +1,298 @@
+#include "ntco/serverless/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ntco/common/error.hpp"
+
+namespace ntco::serverless {
+namespace {
+
+PlatformConfig fast_config() {
+  PlatformConfig cfg;
+  cfg.core_speed = Frequency::gigahertz(2.0);
+  cfg.full_share_memory = DataSize::megabytes(1792);
+  cfg.cold_start_base = Duration::millis(100);
+  cfg.image_install_rate = DataRate::megabits_per_second(400);
+  cfg.keep_alive = Duration::minutes(10);
+  return cfg;
+}
+
+FunctionSpec small_fn(std::string name = "fn") {
+  return FunctionSpec{std::move(name), DataSize::megabytes(1792),
+                      DataSize::megabytes(10)};
+}
+
+TEST(PlatformMath, CpuShareScalesWithMemory) {
+  sim::Simulator s;
+  Platform p(s, fast_config());
+  EXPECT_DOUBLE_EQ(p.cpu_share(DataSize::megabytes(1792)), 1.0);
+  EXPECT_DOUBLE_EQ(p.cpu_share(DataSize::megabytes(896)), 0.5);
+  EXPECT_DOUBLE_EQ(p.cpu_share(DataSize::megabytes(10240)),
+                   10240.0 / 1792.0);  // below the 6-vCPU cap
+  EXPECT_DOUBLE_EQ(p.cpu_share(DataSize::megabytes(17920)), 6.0);  // capped
+}
+
+TEST(PlatformMath, ExecTimeInverselyProportionalToMemory) {
+  sim::Simulator s;
+  Platform p(s, fast_config());
+  const auto work = Cycles::giga(2);  // 1 s at full share (2 GHz)
+  EXPECT_EQ(p.exec_time(DataSize::megabytes(1792), work), Duration::seconds(1));
+  EXPECT_EQ(p.exec_time(DataSize::megabytes(896), work), Duration::seconds(2));
+}
+
+TEST(PlatformMath, ColdStartGrowsWithImage) {
+  sim::Simulator s;
+  Platform p(s, fast_config());
+  // 10 MB at 400 Mb/s = 200 ms install + 100 ms base.
+  EXPECT_EQ(p.cold_start_time(DataSize::megabytes(10)), Duration::millis(300));
+  EXPECT_LT(p.cold_start_time(DataSize::megabytes(1)),
+            p.cold_start_time(DataSize::megabytes(100)));
+}
+
+TEST(PlatformMath, QuantizeMemoryRoundsUpAndClamps) {
+  sim::Simulator s;
+  Platform p(s, fast_config());
+  EXPECT_EQ(p.quantize_memory(DataSize::megabytes(100)),
+            DataSize::megabytes(128));  // below floor
+  EXPECT_EQ(p.quantize_memory(DataSize::megabytes(130)),
+            DataSize::megabytes(192));  // round up to 64 MB quantum
+  EXPECT_EQ(p.quantize_memory(DataSize::megabytes(99999)),
+            DataSize::megabytes(10240));  // ceiling
+}
+
+TEST(PlatformMath, InvocationCostMatchesHandComputation) {
+  sim::Simulator s;
+  auto cfg = fast_config();
+  cfg.price_per_gb_second = Money::nano_usd(16'667);
+  cfg.price_per_request = Money::nano_usd(200);
+  Platform p(s, cfg);
+  // 1 GB for exactly 1 s: 16667 + 200 nano-USD.
+  const auto c = p.invocation_cost(DataSize::gigabytes(1),
+                                   Duration::seconds(1), TimePoint::origin());
+  EXPECT_EQ(c.count_nano_usd(), 16'867);
+}
+
+TEST(PlatformMath, BillingRoundsUpToQuantum) {
+  sim::Simulator s;
+  Platform p(s, fast_config());
+  // 1 us of work is billed as a full 1 ms.
+  const auto tiny = p.invocation_cost(DataSize::gigabytes(1),
+                                      Duration::micros(1), TimePoint::origin());
+  const auto ms = p.invocation_cost(DataSize::gigabytes(1),
+                                    Duration::millis(1), TimePoint::origin());
+  EXPECT_EQ(tiny, ms);
+}
+
+TEST(Platform, DeployValidation) {
+  sim::Simulator s;
+  Platform p(s, fast_config());
+  EXPECT_THROW((void)p.deploy({"", DataSize::megabytes(256),
+                               DataSize::megabytes(1)}),
+               ConfigError);
+  EXPECT_THROW((void)p.deploy({"too-small", DataSize::megabytes(64),
+                               DataSize::megabytes(1)}),
+               ConfigError);
+  EXPECT_THROW((void)p.deploy({"misaligned", DataSize::megabytes(200),
+                               DataSize::megabytes(1)}),
+               ConfigError);
+  const auto id = p.deploy(small_fn());
+  EXPECT_EQ(p.spec(id).name, "fn");
+  EXPECT_EQ(p.function_count(), 1u);
+}
+
+TEST(Platform, FirstInvocationIsColdSecondIsWarm) {
+  sim::Simulator s;
+  Platform p(s, fast_config());
+  const auto id = p.deploy(small_fn());
+  std::vector<InvocationResult> results;
+  p.invoke(id, Cycles::giga(2), [&](const InvocationResult& r) {
+    results.push_back(r);
+    p.invoke(id, Cycles::giga(2),
+             [&](const InvocationResult& r2) { results.push_back(r2); });
+  });
+  s.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].cold_start);
+  EXPECT_EQ(results[0].init_time, Duration::millis(300));
+  EXPECT_EQ(results[0].exec_time, Duration::seconds(1));
+  EXPECT_FALSE(results[1].cold_start);
+  EXPECT_TRUE(results[1].init_time.is_zero());
+}
+
+TEST(Platform, KeepAliveExpiryForcesColdStart) {
+  sim::Simulator s;
+  auto cfg = fast_config();
+  cfg.keep_alive = Duration::seconds(5);
+  Platform p(s, cfg);
+  const auto id = p.deploy(small_fn());
+  p.invoke(id, Cycles::giga(2), [](const InvocationResult&) {});
+  // Execution ends at 1.3 s; stop before the 5 s keep-alive lapses.
+  s.run_until(TimePoint::origin() + Duration::seconds(2));
+  EXPECT_EQ(p.warm_count(id), 1u);
+  // Let the keep-alive lapse.
+  s.run_until(s.now() + Duration::seconds(6));
+  EXPECT_EQ(p.warm_count(id), 0u);
+  bool cold = false;
+  p.invoke(id, Cycles::giga(2),
+           [&](const InvocationResult& r) { cold = r.cold_start; });
+  s.run();
+  EXPECT_TRUE(cold);
+}
+
+TEST(Platform, ReuseWithinKeepAliveStaysWarm) {
+  sim::Simulator s;
+  auto cfg = fast_config();
+  cfg.keep_alive = Duration::seconds(5);
+  Platform p(s, cfg);
+  const auto id = p.deploy(small_fn());
+  p.invoke(id, Cycles::giga(2), [](const InvocationResult&) {});
+  // Execution ends at 1.3 s; re-invoke 3 s later, inside the 5 s window.
+  s.run_until(TimePoint::origin() + Duration::millis(4300));
+  bool cold = true;
+  p.invoke(id, Cycles::giga(2),
+           [&](const InvocationResult& r) { cold = r.cold_start; });
+  s.run();
+  EXPECT_FALSE(cold);
+}
+
+TEST(Platform, ConcurrentBurstColdStartsEachInstance) {
+  sim::Simulator s;
+  Platform p(s, fast_config());
+  const auto id = p.deploy(small_fn());
+  int colds = 0;
+  for (int i = 0; i < 5; ++i)
+    p.invoke(id, Cycles::giga(2), [&](const InvocationResult& r) {
+      if (r.cold_start) ++colds;
+    });
+  s.run_until(TimePoint::origin() + Duration::seconds(2));
+  EXPECT_EQ(colds, 5);  // no instance is free to reuse in a burst
+  EXPECT_EQ(p.warm_count(id), 5u);
+  EXPECT_EQ(p.stats().peak_concurrency, 5u);
+}
+
+TEST(Platform, AccountConcurrencyThrottlesFifo) {
+  sim::Simulator s;
+  auto cfg = fast_config();
+  cfg.account_concurrency = 2;
+  Platform p(s, cfg);
+  const auto id = p.deploy(small_fn());
+  std::vector<int> done_order;
+  std::vector<Duration> queue_waits;
+  for (int i = 0; i < 4; ++i)
+    p.invoke(id, Cycles::giga(2), [&, i](const InvocationResult& r) {
+      done_order.push_back(i);
+      queue_waits.push_back(r.queue_wait);
+    });
+  s.run();
+  ASSERT_EQ(done_order.size(), 4u);
+  EXPECT_EQ(done_order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(queue_waits[0].is_zero());
+  EXPECT_GT(queue_waits[2], Duration::zero());
+  EXPECT_EQ(p.stats().throttled, 2u);
+  EXPECT_EQ(p.stats().peak_concurrency, 2u);
+}
+
+TEST(Platform, ProvisionedConcurrencySkipsColdStart) {
+  sim::Simulator s;
+  Platform p(s, fast_config());
+  const auto id = p.deploy(small_fn());
+  p.set_provisioned_concurrency(id, 2);
+  EXPECT_EQ(p.warm_count(id), 2u);
+  int colds = 0;
+  for (int i = 0; i < 2; ++i)
+    p.invoke(id, Cycles::giga(2), [&](const InvocationResult& r) {
+      if (r.cold_start) ++colds;
+    });
+  s.run();
+  EXPECT_EQ(colds, 0);
+  EXPECT_EQ(p.warm_count(id), 2u);  // provisioned instances return to pool
+}
+
+TEST(Platform, ProvisionedCapacityAccruesCostWhileIdle) {
+  sim::Simulator s;
+  auto cfg = fast_config();
+  cfg.provisioned_price_per_gb_second = Money::nano_usd(4'167);
+  cfg.memory_quantum = DataSize::megabytes(1);  // allow an exact 1 GB config
+  Platform p(s, cfg);
+  const auto id = p.deploy({"fn", DataSize::gigabytes(1),
+                            DataSize::megabytes(10)});
+  p.set_provisioned_concurrency(id, 2);
+  s.schedule_after(Duration::seconds(100), [] {});
+  s.run();
+  // 2 instances x 1 GB x 100 s x 4167 nano$/GB-s.
+  EXPECT_EQ(p.stats().provisioned_cost.count_nano_usd(), 2 * 100 * 4'167);
+  p.set_provisioned_concurrency(id, 0);
+  EXPECT_EQ(p.warm_count(id), 0u);
+  const auto before = p.stats().provisioned_cost;
+  s.schedule_after(Duration::seconds(50), [] {});
+  s.run();
+  EXPECT_EQ(p.stats().provisioned_cost, before);  // no further accrual
+}
+
+TEST(Platform, RedeployInvalidatesWarmInstances) {
+  sim::Simulator s;
+  Platform p(s, fast_config());
+  const auto id = p.deploy(small_fn());
+  p.invoke(id, Cycles::giga(1), [](const InvocationResult&) {});
+  s.run_until(TimePoint::origin() + Duration::seconds(1));
+  EXPECT_EQ(p.warm_count(id), 1u);
+  p.redeploy(id, small_fn("fn-v2"));
+  EXPECT_EQ(p.warm_count(id), 0u);
+  bool cold = false;
+  p.invoke(id, Cycles::giga(1),
+           [&](const InvocationResult& r) { cold = r.cold_start; });
+  s.run();
+  EXPECT_TRUE(cold);
+  EXPECT_EQ(p.spec(id).name, "fn-v2");
+}
+
+TEST(Platform, PriceWindowsDiscountOffPeak) {
+  sim::Simulator s;
+  auto cfg = fast_config();
+  cfg.price_windows = {{22, 6, 0.5}, {6, 22, 1.0}};  // wrap-around window
+  Platform p(s, cfg);
+  const auto day = p.invocation_cost(DataSize::gigabytes(1),
+                                     Duration::seconds(1),
+                                     TimePoint::origin() + Duration::hours(12));
+  const auto night = p.invocation_cost(
+      DataSize::gigabytes(1), Duration::seconds(1),
+      TimePoint::origin() + Duration::hours(23));
+  const auto early = p.invocation_cost(
+      DataSize::gigabytes(1), Duration::seconds(1),
+      TimePoint::origin() + Duration::hours(26));  // 02:00 next day
+  EXPECT_LT(night, day);
+  EXPECT_EQ(night, early);
+  EXPECT_DOUBLE_EQ(p.price_multiplier(TimePoint::origin() + Duration::hours(23)),
+                   0.5);
+}
+
+TEST(Platform, StatsAccumulateAcrossInvocations) {
+  sim::Simulator s;
+  Platform p(s, fast_config());
+  const auto id = p.deploy(small_fn());
+  for (int i = 0; i < 3; ++i)
+    p.invoke(id, Cycles::giga(2), [](const InvocationResult&) {});
+  s.run();
+  const auto st = p.stats();
+  EXPECT_EQ(st.invocations, 3u);
+  EXPECT_EQ(st.cold_starts, 3u);  // burst
+  EXPECT_EQ(st.total_exec, Duration::seconds(3));
+  EXPECT_GT(st.exec_cost, Money::zero());
+  EXPECT_EQ(st.request_cost.count_nano_usd(), 3 * 200);
+  EXPECT_EQ(p.total_cost(), st.exec_cost + st.request_cost + st.provisioned_cost);
+}
+
+TEST(Platform, InvalidConfigRejected) {
+  sim::Simulator s;
+  auto cfg = fast_config();
+  cfg.account_concurrency = 0;
+  EXPECT_THROW(Platform(s, cfg), ConfigError);
+  cfg = fast_config();
+  cfg.price_windows = {{25, 3, 1.0}};
+  EXPECT_THROW(Platform(s, cfg), ConfigError);
+}
+
+}  // namespace
+}  // namespace ntco::serverless

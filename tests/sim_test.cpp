@@ -1,0 +1,191 @@
+#include "ntco/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ntco/common/error.hpp"
+#include "ntco/sim/server_pool.hpp"
+
+namespace ntco::sim {
+namespace {
+
+TEST(Simulator, StartsAtOrigin) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::millis(20), [&] { order.push_back(2); });
+  sim.schedule_after(Duration::millis(10), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::millis(30), [&] { order.push_back(3); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().since_origin(), Duration::millis(30));
+}
+
+TEST(Simulator, SimultaneousEventsFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_after(Duration::millis(5), [&order, i] {
+      order.push_back(i);
+    });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, HandlerCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule_after(Duration::millis(1), chain);
+  };
+  sim.schedule_after(Duration::millis(1), chain);
+  EXPECT_EQ(sim.run(), 5u);
+  EXPECT_EQ(sim.now().since_origin(), Duration::millis(5));
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_after(Duration::millis(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double-cancel reports failure
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const auto id = sim.schedule_after(Duration::millis(1), [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelUnknownIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(12345));
+}
+
+TEST(Simulator, PendingExcludesCancelled) {
+  Simulator sim;
+  sim.schedule_after(Duration::millis(1), [] {});
+  const auto id = sim.schedule_after(Duration::millis(2), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::millis(5), [&] { ++fired; });
+  sim.schedule_after(Duration::millis(15), [&] { ++fired; });
+  const auto horizon = TimePoint::origin() + Duration::millis(10);
+  EXPECT_EQ(sim.run_until(horizon), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), horizon);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilFiresEventExactlyAtHorizon) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_after(Duration::millis(10), [&] { fired = true; });
+  sim.run_until(TimePoint::origin() + Duration::millis(10));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilWithOnlyCancelledEventsIsSafe) {
+  Simulator sim;
+  const auto id = sim.schedule_after(Duration::millis(1), [] {});
+  sim.cancel(id);
+  EXPECT_EQ(sim.run_until(TimePoint::origin() + Duration::millis(5)), 0u);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_after(Duration::millis(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint::origin(), [] {}),
+               ContractViolation);
+  EXPECT_THROW(sim.schedule_after(-Duration::millis(1), [] {}),
+               ContractViolation);
+}
+
+TEST(Simulator, NextEventTimeSkipsCancelled) {
+  Simulator sim;
+  const auto id = sim.schedule_after(Duration::millis(1), [] {});
+  sim.schedule_after(Duration::millis(9), [] {});
+  sim.cancel(id);
+  EXPECT_EQ(sim.next_event_time(), TimePoint::origin() + Duration::millis(9));
+}
+
+TEST(ServerPool, SingleServerSerialisesJobs) {
+  Simulator sim;
+  ServerPool pool(sim, 1);
+  std::vector<Duration> starts;
+  for (int i = 0; i < 3; ++i)
+    pool.submit(Duration::millis(10), [&](TimePoint started) {
+      starts.push_back(started.since_origin());
+    });
+  sim.run();
+  ASSERT_EQ(starts.size(), 3u);
+  EXPECT_EQ(starts[0], Duration::zero());
+  EXPECT_EQ(starts[1], Duration::millis(10));
+  EXPECT_EQ(starts[2], Duration::millis(20));
+  EXPECT_EQ(pool.total_busy_time(), Duration::millis(30));
+  EXPECT_EQ(pool.completed(), 3u);
+}
+
+TEST(ServerPool, ParallelServersRunConcurrently) {
+  Simulator sim;
+  ServerPool pool(sim, 3);
+  int done = 0;
+  for (int i = 0; i < 3; ++i)
+    pool.submit(Duration::millis(10), [&](TimePoint started) {
+      EXPECT_EQ(started, TimePoint::origin());
+      ++done;
+    });
+  sim.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(sim.now().since_origin(), Duration::millis(10));
+}
+
+TEST(ServerPool, QueueDrainsAfterRelease) {
+  Simulator sim;
+  ServerPool pool(sim, 2);
+  std::vector<Duration> starts;
+  for (int i = 0; i < 5; ++i)
+    pool.submit(Duration::millis(4), [&](TimePoint started) {
+      starts.push_back(started.since_origin());
+    });
+  EXPECT_EQ(pool.busy(), 2u);
+  EXPECT_EQ(pool.queued(), 3u);
+  sim.run();
+  ASSERT_EQ(starts.size(), 5u);
+  EXPECT_EQ(starts[4], Duration::millis(8));
+}
+
+TEST(ServerPool, ZeroCapacityThrows) {
+  Simulator sim;
+  EXPECT_THROW(ServerPool(sim, 0), ContractViolation);
+}
+
+TEST(ServerPool, ZeroServiceTimeCompletesImmediately) {
+  Simulator sim;
+  ServerPool pool(sim, 1);
+  bool done = false;
+  pool.submit(Duration::zero(), [&](TimePoint) { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+}
+
+}  // namespace
+}  // namespace ntco::sim

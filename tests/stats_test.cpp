@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ntco/common/error.hpp"
+#include "ntco/stats/accumulator.hpp"
+#include "ntco/stats/histogram.hpp"
+#include "ntco/stats/percentile.hpp"
+#include "ntco/stats/table.hpp"
+
+namespace ntco::stats {
+namespace {
+
+TEST(Accumulator, EmptyStateAndContracts) {
+  Accumulator a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_THROW((void)a.mean(), ContractViolation);
+  EXPECT_THROW((void)a.min(), ContractViolation);
+}
+
+TEST(Accumulator, MomentsMatchDirectComputation) {
+  Accumulator a;
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Accumulator, SingleObservationHasZeroVariance) {
+  Accumulator a;
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stderr_mean(), 0.0);
+}
+
+TEST(Accumulator, MergeEqualsPooled) {
+  Accumulator lhs, rhs, pooled;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? lhs : rhs).add(x);
+    pooled.add(x);
+  }
+  lhs.merge(rhs);
+  EXPECT_EQ(lhs.count(), pooled.count());
+  EXPECT_NEAR(lhs.mean(), pooled.mean(), 1e-12);
+  EXPECT_NEAR(lhs.variance(), pooled.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(lhs.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(lhs.max(), pooled.max());
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentity) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Accumulator, RejectsNonFinite) {
+  Accumulator a;
+  EXPECT_THROW(a.add(std::nan("")), ContractViolation);
+  EXPECT_THROW(a.add(INFINITY), ContractViolation);
+}
+
+TEST(PercentileSample, ExactQuantilesOnKnownData) {
+  PercentileSample p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_DOUBLE_EQ(p.min(), 1.0);
+  EXPECT_DOUBLE_EQ(p.max(), 100.0);
+  EXPECT_DOUBLE_EQ(p.median(), 50.5);
+  EXPECT_NEAR(p.p95(), 95.05, 1e-9);
+  EXPECT_DOUBLE_EQ(p.mean(), 50.5);
+}
+
+TEST(PercentileSample, InterpolatesBetweenPoints) {
+  PercentileSample p;
+  p.add(10.0);
+  p.add(20.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.25), 12.5);
+}
+
+TEST(PercentileSample, SingleElement) {
+  PercentileSample p;
+  p.add(7.0);
+  EXPECT_DOUBLE_EQ(p.median(), 7.0);
+  EXPECT_DOUBLE_EQ(p.p99(), 7.0);
+}
+
+TEST(PercentileSample, AddAfterQueryResorts) {
+  PercentileSample p;
+  p.add(5.0);
+  EXPECT_DOUBLE_EQ(p.max(), 5.0);
+  p.add(9.0);
+  p.add(1.0);
+  EXPECT_DOUBLE_EQ(p.max(), 9.0);
+  EXPECT_DOUBLE_EQ(p.min(), 1.0);
+}
+
+TEST(PercentileSample, ContractsOnEmptyAndBadQ) {
+  PercentileSample p;
+  EXPECT_THROW((void)p.median(), ContractViolation);
+  p.add(1.0);
+  EXPECT_THROW((void)p.quantile(1.5), ContractViolation);
+  EXPECT_THROW((void)p.quantile(-0.1), ContractViolation);
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(5.0);   // bin 5
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (hi is exclusive)
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(5), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, CdfIsMonotone) {
+  Histogram h(0.0, 1.0, 4);
+  for (double x : {0.1, 0.3, 0.6, 0.9}) h.add(x);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    const double c = h.cdf_at_bin(i);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string s = h.render(10);
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.set_title("demo");
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowArityIsChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+  EXPECT_EQ(cell(2.0, 0), "2");
+  EXPECT_EQ(cell_pct(0.256, 1), "25.6%");
+}
+
+}  // namespace
+}  // namespace ntco::stats

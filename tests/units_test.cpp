@@ -1,0 +1,153 @@
+#include "ntco/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntco/common/error.hpp"
+
+namespace ntco {
+namespace {
+
+TEST(Duration, FactoryConversions) {
+  EXPECT_EQ(Duration::micros(1).count_micros(), 1);
+  EXPECT_EQ(Duration::millis(1).count_micros(), 1'000);
+  EXPECT_EQ(Duration::seconds(1).count_micros(), 1'000'000);
+  EXPECT_EQ(Duration::minutes(2).count_micros(), 120'000'000);
+  EXPECT_EQ(Duration::hours(1).count_micros(), 3'600'000'000LL);
+}
+
+TEST(Duration, FromSecondsRoundsToMicros) {
+  EXPECT_EQ(Duration::from_seconds(0.5).count_micros(), 500'000);
+  EXPECT_EQ(Duration::from_seconds(1e-7).count_micros(), 0);
+  EXPECT_EQ(Duration::from_seconds(-0.25).count_micros(), -250'000);
+}
+
+TEST(Duration, Arithmetic) {
+  const auto a = Duration::millis(10);
+  const auto b = Duration::millis(4);
+  EXPECT_EQ((a + b).count_micros(), 14'000);
+  EXPECT_EQ((a - b).count_micros(), 6'000);
+  EXPECT_EQ((a * 2.5).count_micros(), 25'000);
+  EXPECT_EQ((a / 4.0).count_micros(), 2'500);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_TRUE((b - a).is_negative());
+}
+
+TEST(Duration, ComparisonOrdering) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_EQ(Duration::seconds(1), Duration::millis(1000));
+  EXPECT_GE(Duration::zero(), -Duration::millis(1));
+}
+
+TEST(Duration, DivisionByZeroThrows) {
+  EXPECT_THROW((void)(Duration::millis(1) / 0.0), ContractViolation);
+}
+
+TEST(TimePoint, Arithmetic) {
+  const auto t0 = TimePoint::origin();
+  const auto t1 = t0 + Duration::seconds(3);
+  EXPECT_EQ((t1 - t0).count_micros(), 3'000'000);
+  EXPECT_EQ((t1 - Duration::seconds(1)).since_origin(), Duration::seconds(2));
+  EXPECT_LT(t0, t1);
+}
+
+TEST(DataSize, FactoryConversions) {
+  EXPECT_EQ(DataSize::bytes(7).count_bytes(), 7u);
+  EXPECT_EQ(DataSize::kilobytes(2).count_bytes(), 2'000u);
+  EXPECT_EQ(DataSize::megabytes(3).count_bytes(), 3'000'000u);
+  EXPECT_EQ(DataSize::gigabytes(1).count_bytes(), 1'000'000'000u);
+  EXPECT_EQ(DataSize::bytes(1).count_bits(), 8u);
+}
+
+TEST(DataSize, Arithmetic) {
+  EXPECT_EQ((DataSize::kilobytes(1) + DataSize::bytes(24)).count_bytes(),
+            1'024u);
+  EXPECT_EQ((DataSize::megabytes(2) * 0.5).count_bytes(), 1'000'000u);
+  EXPECT_THROW((void)(DataSize::bytes(1) * -1.0), ContractViolation);
+}
+
+TEST(Cycles, FactoryAndScaling) {
+  EXPECT_EQ(Cycles::mega(5).value(), 5'000'000u);
+  EXPECT_EQ(Cycles::giga(2).value(), 2'000'000'000u);
+  EXPECT_EQ((Cycles::mega(10) * 1.5).value(), 15'000'000u);
+  EXPECT_DOUBLE_EQ(Cycles::mega(3).to_mega(), 3.0);
+}
+
+TEST(CrossUnit, CyclesOverFrequencyIsExecutionTime) {
+  // 2 Gcycles at 2 GHz = exactly 1 s.
+  const auto t = Cycles::giga(2) / Frequency::gigahertz(2.0);
+  EXPECT_EQ(t, Duration::seconds(1));
+}
+
+TEST(CrossUnit, ExecutionTimeRoundsUpForTinyWork) {
+  // 1 cycle at 1 GHz is 1 ns — must round *up* to 1 us, never to zero.
+  const auto t = Cycles::count(1) / Frequency::gigahertz(1.0);
+  EXPECT_EQ(t.count_micros(), 1);
+}
+
+TEST(CrossUnit, ZeroFrequencyThrows) {
+  EXPECT_THROW((void)(Cycles::mega(1) / Frequency::hertz(0)),
+               ContractViolation);
+}
+
+TEST(CrossUnit, DataOverRateIsTransferTime) {
+  // 1 MB over 8 Mbit/s = exactly 1 s.
+  const auto t = DataSize::megabytes(1) / DataRate::megabits_per_second(8);
+  EXPECT_EQ(t, Duration::seconds(1));
+}
+
+TEST(CrossUnit, PowerTimesDurationIsEnergy) {
+  const auto e = Power::watts(2.0) * Duration::seconds(3);
+  EXPECT_DOUBLE_EQ(e.to_joules(), 6.0);
+  EXPECT_EQ((Duration::seconds(3) * Power::watts(2.0)), e);
+}
+
+TEST(CrossUnit, NegativeDurationEnergyThrows) {
+  EXPECT_THROW((void)(Power::watts(1.0) * (-Duration::seconds(1))),
+               ContractViolation);
+}
+
+TEST(Money, NanoUsdRepresentation) {
+  EXPECT_EQ(Money::usd(1).count_nano_usd(), 1'000'000'000);
+  EXPECT_EQ(Money::usd(1).count_micro_usd(), 1'000'000);
+  EXPECT_EQ(Money::cents(5).count_nano_usd(), 50'000'000);
+  // The canonical GB-second price survives the round trip to 1e-9.
+  EXPECT_DOUBLE_EQ(Money::from_usd(0.0000166667).to_usd(), 0.0000166670);
+  // Per-request pricing is representable exactly.
+  EXPECT_EQ(Money::from_usd(0.0000002).count_nano_usd(), 200);
+}
+
+TEST(Money, ArithmeticIsExact) {
+  // Accumulating a sub-cent price a million times must not drift.
+  Money total;
+  const Money per_call = Money::micro_usd(2);  // $0.000002
+  for (int i = 0; i < 1'000'000; ++i) total += per_call;
+  EXPECT_EQ(total, Money::usd(2));
+}
+
+TEST(Money, SignedArithmetic) {
+  EXPECT_EQ((Money::usd(1) - Money::usd(3)).count_micro_usd(), -2'000'000);
+  EXPECT_EQ((Money::cents(10) * 0.5), Money::cents(5));
+}
+
+TEST(Energy, Accumulation) {
+  Energy e;
+  e += Energy::joules(1.5);
+  e += Energy::microjoules(500'000);
+  EXPECT_DOUBLE_EQ(e.to_joules(), 2.0);
+  EXPECT_EQ((Energy::joules(2.0) - Energy::joules(0.5)), Energy::joules(1.5));
+}
+
+TEST(Formatting, HumanReadable) {
+  EXPECT_EQ(to_string(Duration::micros(500)), "500 us");
+  EXPECT_EQ(to_string(Duration::millis(12)), "12.00 ms");
+  EXPECT_EQ(to_string(Duration::seconds(3)), "3.00 s");
+  EXPECT_EQ(to_string(Duration::minutes(2)), "2.00 min");
+  EXPECT_EQ(to_string(DataSize::bytes(12)), "12 B");
+  EXPECT_EQ(to_string(DataSize::megabytes(3)), "3.00 MB");
+  EXPECT_EQ(to_string(Cycles::mega(4)), "4.00 Mcyc");
+  EXPECT_EQ(to_string(Money::from_usd(0.000041)), "$0.000041");
+  EXPECT_EQ(to_string(Energy::joules(1.25)), "1.25 J");
+}
+
+}  // namespace
+}  // namespace ntco
