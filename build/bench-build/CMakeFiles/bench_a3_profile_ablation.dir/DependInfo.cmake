@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_a3_profile_ablation.cpp" "bench-build/CMakeFiles/bench_a3_profile_ablation.dir/bench_a3_profile_ablation.cpp.o" "gcc" "bench-build/CMakeFiles/bench_a3_profile_ablation.dir/bench_a3_profile_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edgesim/CMakeFiles/ntco_edgesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ntco_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cicd/CMakeFiles/ntco_cicd.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ntco_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ntco_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ntco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ntco_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/ntco_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ntco_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/ntco_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/ntco_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/serverless/CMakeFiles/ntco_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ntco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ntco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

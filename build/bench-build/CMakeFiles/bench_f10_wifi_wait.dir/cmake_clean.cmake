@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f10_wifi_wait"
+  "../bench/bench_f10_wifi_wait.pdb"
+  "CMakeFiles/bench_f10_wifi_wait.dir/bench_f10_wifi_wait.cpp.o"
+  "CMakeFiles/bench_f10_wifi_wait.dir/bench_f10_wifi_wait.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_wifi_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f11_carbon"
+  "../bench/bench_f11_carbon.pdb"
+  "CMakeFiles/bench_f11_carbon.dir/bench_f11_carbon.cpp.o"
+  "CMakeFiles/bench_f11_carbon.dir/bench_f11_carbon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f11_carbon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

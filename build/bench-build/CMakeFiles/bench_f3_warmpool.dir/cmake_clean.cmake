@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f3_warmpool"
+  "../bench/bench_f3_warmpool.pdb"
+  "CMakeFiles/bench_f3_warmpool.dir/bench_f3_warmpool.cpp.o"
+  "CMakeFiles/bench_f3_warmpool.dir/bench_f3_warmpool.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_warmpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f5_scale_users"
+  "../bench/bench_f5_scale_users.pdb"
+  "CMakeFiles/bench_f5_scale_users.dir/bench_f5_scale_users.cpp.o"
+  "CMakeFiles/bench_f5_scale_users.dir/bench_f5_scale_users.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_scale_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f6_cicd"
+  "../bench/bench_f6_cicd.pdb"
+  "CMakeFiles/bench_f6_cicd.dir/bench_f6_cicd.cpp.o"
+  "CMakeFiles/bench_f6_cicd.dir/bench_f6_cicd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_cicd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

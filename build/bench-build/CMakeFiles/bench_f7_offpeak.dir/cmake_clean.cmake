@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f7_offpeak"
+  "../bench/bench_f7_offpeak.pdb"
+  "CMakeFiles/bench_f7_offpeak.dir/bench_f7_offpeak.cpp.o"
+  "CMakeFiles/bench_f7_offpeak.dir/bench_f7_offpeak.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_offpeak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

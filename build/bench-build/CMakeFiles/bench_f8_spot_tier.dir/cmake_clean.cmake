@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f8_spot_tier"
+  "../bench/bench_f8_spot_tier.pdb"
+  "CMakeFiles/bench_f8_spot_tier.dir/bench_f8_spot_tier.cpp.o"
+  "CMakeFiles/bench_f8_spot_tier.dir/bench_f8_spot_tier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_spot_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

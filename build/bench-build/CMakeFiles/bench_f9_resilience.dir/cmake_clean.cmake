@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f9_resilience"
+  "../bench/bench_f9_resilience.pdb"
+  "CMakeFiles/bench_f9_resilience.dir/bench_f9_resilience.cpp.o"
+  "CMakeFiles/bench_f9_resilience.dir/bench_f9_resilience.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_partitioners"
+  "../bench/bench_micro_partitioners.pdb"
+  "CMakeFiles/bench_micro_partitioners.dir/bench_micro_partitioners.cpp.o"
+  "CMakeFiles/bench_micro_partitioners.dir/bench_micro_partitioners.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_partitioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t3_memory_alloc"
+  "../bench/bench_t3_memory_alloc.pdb"
+  "CMakeFiles/bench_t3_memory_alloc.dir/bench_t3_memory_alloc.cpp.o"
+  "CMakeFiles/bench_t3_memory_alloc.dir/bench_t3_memory_alloc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_memory_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t4_profiler"
+  "../bench/bench_t4_profiler.pdb"
+  "CMakeFiles/bench_t4_profiler.dir/bench_t4_profiler.cpp.o"
+  "CMakeFiles/bench_t4_profiler.dir/bench_t4_profiler.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t5_multiway"
+  "../bench/bench_t5_multiway.pdb"
+  "CMakeFiles/bench_t5_multiway.dir/bench_t5_multiway.cpp.o"
+  "CMakeFiles/bench_t5_multiway.dir/bench_t5_multiway.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_multiway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t6_regions"
+  "../bench/bench_t6_regions.pdb"
+  "CMakeFiles/bench_t6_regions.dir/bench_t6_regions.cpp.o"
+  "CMakeFiles/bench_t6_regions.dir/bench_t6_regions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cicd_integration.dir/cicd_integration.cpp.o"
+  "CMakeFiles/cicd_integration.dir/cicd_integration.cpp.o.d"
+  "cicd_integration"
+  "cicd_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cicd_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commuter_day.dir/commuter_day.cpp.o"
+  "CMakeFiles/commuter_day.dir/commuter_day.cpp.o.d"
+  "commuter_day"
+  "commuter_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commuter_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_batch.dir/ml_batch.cpp.o"
+  "CMakeFiles/ml_batch.dir/ml_batch.cpp.o.d"
+  "ml_batch"
+  "ml_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo_backup.dir/photo_backup.cpp.o"
+  "CMakeFiles/photo_backup.dir/photo_backup.cpp.o.d"
+  "photo_backup"
+  "photo_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/src/memory_optimizer.cpp" "src/alloc/CMakeFiles/ntco_alloc.dir/src/memory_optimizer.cpp.o" "gcc" "src/alloc/CMakeFiles/ntco_alloc.dir/src/memory_optimizer.cpp.o.d"
+  "/root/repo/src/alloc/src/region_selector.cpp" "src/alloc/CMakeFiles/ntco_alloc.dir/src/region_selector.cpp.o" "gcc" "src/alloc/CMakeFiles/ntco_alloc.dir/src/region_selector.cpp.o.d"
+  "/root/repo/src/alloc/src/warm_pool.cpp" "src/alloc/CMakeFiles/ntco_alloc.dir/src/warm_pool.cpp.o" "gcc" "src/alloc/CMakeFiles/ntco_alloc.dir/src/warm_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ntco_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serverless/CMakeFiles/ntco_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ntco_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

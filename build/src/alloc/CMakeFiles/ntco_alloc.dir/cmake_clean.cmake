@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntco_alloc.dir/src/memory_optimizer.cpp.o"
+  "CMakeFiles/ntco_alloc.dir/src/memory_optimizer.cpp.o.d"
+  "CMakeFiles/ntco_alloc.dir/src/region_selector.cpp.o"
+  "CMakeFiles/ntco_alloc.dir/src/region_selector.cpp.o.d"
+  "CMakeFiles/ntco_alloc.dir/src/warm_pool.cpp.o"
+  "CMakeFiles/ntco_alloc.dir/src/warm_pool.cpp.o.d"
+  "libntco_alloc.a"
+  "libntco_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntco_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

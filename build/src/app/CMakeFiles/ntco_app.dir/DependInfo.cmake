@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/src/generators.cpp" "src/app/CMakeFiles/ntco_app.dir/src/generators.cpp.o" "gcc" "src/app/CMakeFiles/ntco_app.dir/src/generators.cpp.o.d"
+  "/root/repo/src/app/src/task_graph.cpp" "src/app/CMakeFiles/ntco_app.dir/src/task_graph.cpp.o" "gcc" "src/app/CMakeFiles/ntco_app.dir/src/task_graph.cpp.o.d"
+  "/root/repo/src/app/src/workloads.cpp" "src/app/CMakeFiles/ntco_app.dir/src/workloads.cpp.o" "gcc" "src/app/CMakeFiles/ntco_app.dir/src/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ntco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

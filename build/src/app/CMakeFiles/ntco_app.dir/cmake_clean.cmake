@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntco_app.dir/src/generators.cpp.o"
+  "CMakeFiles/ntco_app.dir/src/generators.cpp.o.d"
+  "CMakeFiles/ntco_app.dir/src/task_graph.cpp.o"
+  "CMakeFiles/ntco_app.dir/src/task_graph.cpp.o.d"
+  "CMakeFiles/ntco_app.dir/src/workloads.cpp.o"
+  "CMakeFiles/ntco_app.dir/src/workloads.cpp.o.d"
+  "libntco_app.a"
+  "libntco_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntco_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntco_cicd.dir/src/pipeline.cpp.o"
+  "CMakeFiles/ntco_cicd.dir/src/pipeline.cpp.o.d"
+  "libntco_cicd.a"
+  "libntco_cicd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntco_cicd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

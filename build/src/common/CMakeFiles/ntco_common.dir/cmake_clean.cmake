@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntco_common.dir/src/units.cpp.o"
+  "CMakeFiles/ntco_common.dir/src/units.cpp.o.d"
+  "libntco_common.a"
+  "libntco_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntco_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

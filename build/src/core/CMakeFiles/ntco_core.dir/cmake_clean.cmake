@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntco_core.dir/src/controller.cpp.o"
+  "CMakeFiles/ntco_core.dir/src/controller.cpp.o.d"
+  "libntco_core.a"
+  "libntco_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntco_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

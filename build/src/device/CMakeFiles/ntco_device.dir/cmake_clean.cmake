@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntco_device.dir/src/device.cpp.o"
+  "CMakeFiles/ntco_device.dir/src/device.cpp.o.d"
+  "CMakeFiles/ntco_device.dir/src/dvfs.cpp.o"
+  "CMakeFiles/ntco_device.dir/src/dvfs.cpp.o.d"
+  "libntco_device.a"
+  "libntco_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntco_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntco_edgesim.dir/src/edgesim.cpp.o"
+  "CMakeFiles/ntco_edgesim.dir/src/edgesim.cpp.o.d"
+  "libntco_edgesim.a"
+  "libntco_edgesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntco_edgesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

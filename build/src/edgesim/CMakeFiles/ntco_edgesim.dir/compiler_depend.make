@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ntco_edgesim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntco_net.dir/src/mobility.cpp.o"
+  "CMakeFiles/ntco_net.dir/src/mobility.cpp.o.d"
+  "CMakeFiles/ntco_net.dir/src/path.cpp.o"
+  "CMakeFiles/ntco_net.dir/src/path.cpp.o.d"
+  "libntco_net.a"
+  "libntco_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntco_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/src/cost_model.cpp" "src/partition/CMakeFiles/ntco_partition.dir/src/cost_model.cpp.o" "gcc" "src/partition/CMakeFiles/ntco_partition.dir/src/cost_model.cpp.o.d"
+  "/root/repo/src/partition/src/max_flow.cpp" "src/partition/CMakeFiles/ntco_partition.dir/src/max_flow.cpp.o" "gcc" "src/partition/CMakeFiles/ntco_partition.dir/src/max_flow.cpp.o.d"
+  "/root/repo/src/partition/src/multi_target.cpp" "src/partition/CMakeFiles/ntco_partition.dir/src/multi_target.cpp.o" "gcc" "src/partition/CMakeFiles/ntco_partition.dir/src/multi_target.cpp.o.d"
+  "/root/repo/src/partition/src/partitioners.cpp" "src/partition/CMakeFiles/ntco_partition.dir/src/partitioners.cpp.o" "gcc" "src/partition/CMakeFiles/ntco_partition.dir/src/partitioners.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ntco_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/ntco_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ntco_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

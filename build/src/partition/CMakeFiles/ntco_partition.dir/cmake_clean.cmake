@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntco_partition.dir/src/cost_model.cpp.o"
+  "CMakeFiles/ntco_partition.dir/src/cost_model.cpp.o.d"
+  "CMakeFiles/ntco_partition.dir/src/max_flow.cpp.o"
+  "CMakeFiles/ntco_partition.dir/src/max_flow.cpp.o.d"
+  "CMakeFiles/ntco_partition.dir/src/multi_target.cpp.o"
+  "CMakeFiles/ntco_partition.dir/src/multi_target.cpp.o.d"
+  "CMakeFiles/ntco_partition.dir/src/partitioners.cpp.o"
+  "CMakeFiles/ntco_partition.dir/src/partitioners.cpp.o.d"
+  "libntco_partition.a"
+  "libntco_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntco_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntco_profile.dir/src/profiler.cpp.o"
+  "CMakeFiles/ntco_profile.dir/src/profiler.cpp.o.d"
+  "libntco_profile.a"
+  "libntco_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntco_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

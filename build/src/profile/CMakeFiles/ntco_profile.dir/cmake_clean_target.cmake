@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libntco_profile.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntco_sched.dir/src/carbon_planner.cpp.o"
+  "CMakeFiles/ntco_sched.dir/src/carbon_planner.cpp.o.d"
+  "CMakeFiles/ntco_sched.dir/src/deferred_scheduler.cpp.o"
+  "CMakeFiles/ntco_sched.dir/src/deferred_scheduler.cpp.o.d"
+  "CMakeFiles/ntco_sched.dir/src/upload_planner.cpp.o"
+  "CMakeFiles/ntco_sched.dir/src/upload_planner.cpp.o.d"
+  "libntco_sched.a"
+  "libntco_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntco_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

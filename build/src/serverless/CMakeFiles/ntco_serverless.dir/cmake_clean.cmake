@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntco_serverless.dir/src/platform.cpp.o"
+  "CMakeFiles/ntco_serverless.dir/src/platform.cpp.o.d"
+  "libntco_serverless.a"
+  "libntco_serverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntco_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntco_sim.dir/src/sim.cpp.o"
+  "CMakeFiles/ntco_sim.dir/src/sim.cpp.o.d"
+  "libntco_sim.a"
+  "libntco_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntco_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntco_stats.dir/src/histogram.cpp.o"
+  "CMakeFiles/ntco_stats.dir/src/histogram.cpp.o.d"
+  "CMakeFiles/ntco_stats.dir/src/queueing.cpp.o"
+  "CMakeFiles/ntco_stats.dir/src/queueing.cpp.o.d"
+  "CMakeFiles/ntco_stats.dir/src/table.cpp.o"
+  "CMakeFiles/ntco_stats.dir/src/table.cpp.o.d"
+  "libntco_stats.a"
+  "libntco_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntco_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cicd_test.dir/cicd_test.cpp.o"
+  "CMakeFiles/cicd_test.dir/cicd_test.cpp.o.d"
+  "cicd_test"
+  "cicd_test.pdb"
+  "cicd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cicd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

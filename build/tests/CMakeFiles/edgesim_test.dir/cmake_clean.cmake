@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_test.dir/edgesim_test.cpp.o"
+  "CMakeFiles/edgesim_test.dir/edgesim_test.cpp.o.d"
+  "edgesim_test"
+  "edgesim_test.pdb"
+  "edgesim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_target_test.dir/multi_target_test.cpp.o"
+  "CMakeFiles/multi_target_test.dir/multi_target_test.cpp.o.d"
+  "multi_target_test"
+  "multi_target_test.pdb"
+  "multi_target_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_target_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_carbon_test.dir/region_carbon_test.cpp.o"
+  "CMakeFiles/region_carbon_test.dir/region_carbon_test.cpp.o.d"
+  "region_carbon_test"
+  "region_carbon_test.pdb"
+  "region_carbon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_carbon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

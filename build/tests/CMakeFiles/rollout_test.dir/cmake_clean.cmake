@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollout_test.dir/rollout_test.cpp.o"
+  "CMakeFiles/rollout_test.dir/rollout_test.cpp.o.d"
+  "rollout_test"
+  "rollout_test.pdb"
+  "rollout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/units_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/device_test[1]_include.cmake")
+include("/root/repo/build/tests/app_test[1]_include.cmake")
+include("/root/repo/build/tests/serverless_test[1]_include.cmake")
+include("/root/repo/build/tests/edgesim_test[1]_include.cmake")
+include("/root/repo/build/tests/profile_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/alloc_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/cicd_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/spot_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_target_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/mobility_test[1]_include.cmake")
+include("/root/repo/build/tests/queueing_test[1]_include.cmake")
+include("/root/repo/build/tests/dvfs_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/region_carbon_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/rollout_test[1]_include.cmake")
