@@ -43,7 +43,7 @@ app::TaskGraph random_graph(std::size_t components, Rng& rng) {
 }  // namespace
 
 int main() {
-  bench::print_header("A1", "Partitioner ablation on random DAGs",
+  bench::ReportWriter report("A1", "Partitioner ablation on random DAGs",
                       "min-cut 0% gap at all sizes; heuristic gaps grow; "
                       "exhaustive infeasible past ~20 components");
 
@@ -75,7 +75,7 @@ int main() {
                                  0)});
     t.set_title("A1a: gap to exhaustive optimum (30 random DAGs, 8-16 "
                 "components)");
-    std::printf("%s\n", t.render().c_str());
+    report.emit(t);
   }
 
   // --- (b) Planning-time scaling. -----------------------------------------
@@ -108,7 +108,7 @@ int main() {
                  stats::cell_pct(greedy_v / cut_v - 1.0, 2)});
     }
     t.set_title("A1b: planning time vs graph size (single run per size)");
-    std::printf("%s\n", t.render().c_str());
+    report.emit(t);
   }
   return 0;
 }

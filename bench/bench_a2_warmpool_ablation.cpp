@@ -69,7 +69,7 @@ Outcome simulate(bool bursty, std::size_t pool) {
 }  // namespace
 
 int main() {
-  bench::print_header("A2", "Warm-pool planner ablation",
+  bench::ReportWriter report("A2", "Warm-pool planner ablation",
                       "steady: pool 0 is right, mean-rate plan overspends; "
                       "bursty: mean-rate plan far too small, burst-aware "
                       "plan meets the 2% target");
@@ -117,6 +117,6 @@ int main() {
               "1 min keep-alive)");
   t.set_caption("steady traffic self-warms via keep-alive; bursts need "
                 "capacity sized on concurrency, not mean rate");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
   return 0;
 }

@@ -12,7 +12,7 @@
 using namespace ntco;
 
 int main() {
-  bench::print_header("A3", "Profile volume -> partition quality",
+  bench::ReportWriter report("A3", "Profile volume -> partition quality",
                       "measured regret shrinks to ~0 within a few dozen "
                       "traces");
 
@@ -55,6 +55,6 @@ int main() {
   t.add_row({"truth", stats::cell(reference, 2), "0.0%", "-"});
   t.set_title("A3: nightly-etl, cv=0.6 instrumentation noise, 10 reps, "
               "latency objective (warm runs)");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
   return 0;
 }

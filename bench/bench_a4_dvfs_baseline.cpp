@@ -16,7 +16,7 @@
 using namespace ntco;
 
 int main() {
-  bench::print_header("A4", "DVFS-tuned local baseline vs offloading",
+  bench::ReportWriter report("A4", "DVFS-tuned local baseline vs offloading",
                       "DVFS shrinks the local baseline's energy; offloading "
                       "still wins for compute-heavy apps, by a smaller, "
                       "honest margin");
@@ -67,6 +67,6 @@ int main() {
   }
   t.set_title("A4: deadline = 3x nominal local runtime; all rows include "
               "idle energy to the deadline (race-to-idle accounting)");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
   return 0;
 }

@@ -5,12 +5,15 @@
 // deterministic (fixed seeds; see DESIGN.md).
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "ntco/app/workloads.hpp"
 #include "ntco/cicd/pipeline.hpp"
 #include "ntco/core/controller.hpp"
 #include "ntco/edgesim/edge_platform.hpp"
+#include "ntco/obs/metrics.hpp"
+#include "ntco/obs/trace.hpp"
 #include "ntco/stats/table.hpp"
 
 namespace ntco::bench {
@@ -45,13 +48,79 @@ inline core::ControllerConfig ntc_cfg() {
   return cfg;
 }
 
-/// Uniform experiment header so tee'd bench output reads as a report.
-inline void print_header(const char* id, const char* title,
-                         const char* shape) {
-  std::printf("\n################################################################\n");
-  std::printf("# %s  %s\n", id, title);
-  std::printf("# expected shape: %s\n", shape);
-  std::printf("################################################################\n\n");
-}
+/// Unified experiment reporting: one object per bench binary that prints
+/// the uniform banner on construction, renders every result table for
+/// humans, and — when the environment variable NTCO_BENCH_OUT names a
+/// directory — mirrors everything machine-readably into it:
+///
+///   <id>.t<k>.csv       k-th table as CSV (k counts from 1)
+///   <id>.rows.jsonl     all table rows as JSON Lines (keyed by header)
+///   <id>.metrics.csv    MetricsRegistry dump (via emit_metrics)
+///   <id>.trace.jsonl    trace stream (via emit_trace)
+///
+/// All machine files are byte-deterministic under fixed seeds.
+class ReportWriter {
+ public:
+  ReportWriter(std::string id, const char* title, const char* shape)
+      : id_(std::move(id)) {
+    std::printf(
+        "\n################################################################\n");
+    std::printf("# %s  %s\n", id_.c_str(), title);
+    std::printf("# expected shape: %s\n", shape);
+    std::printf(
+        "################################################################\n\n");
+    if (const char* dir = std::getenv("NTCO_BENCH_OUT");
+        dir != nullptr && dir[0] != '\0')
+      dir_ = dir;
+  }
+
+  /// True when machine-readable output is being written.
+  [[nodiscard]] bool machine_output() const { return !dir_.empty(); }
+  [[nodiscard]] const std::string& id() const { return id_; }
+
+  /// Prints the table and mirrors it to <id>.t<k>.csv + <id>.rows.jsonl.
+  void emit(const stats::Table& t) {
+    std::printf("%s\n", t.render().c_str());
+    std::fflush(stdout);
+    if (dir_.empty()) return;
+    ++tables_;
+    write_file(path(".t" + std::to_string(tables_) + ".csv"), t.render_csv(),
+               /*append=*/false);
+    write_file(path(".rows.jsonl"), t.render_jsonl(), /*append=*/tables_ > 1);
+  }
+
+  /// Dumps the registry to <id>.metrics.csv (no-op without NTCO_BENCH_OUT).
+  void emit_metrics(const obs::MetricsRegistry& reg) {
+    if (dir_.empty()) return;
+    write_file(path(".metrics.csv"), reg.to_csv(), /*append=*/false);
+  }
+
+  /// Dumps the trace stream to <id>.trace.jsonl (no-op without
+  /// NTCO_BENCH_OUT).
+  void emit_trace(const obs::JsonlTraceWriter& trace) {
+    if (dir_.empty()) return;
+    write_file(path(".trace.jsonl"), trace.str(), /*append=*/false);
+  }
+
+ private:
+  [[nodiscard]] std::string path(const std::string& suffix) const {
+    return dir_ + "/" + id_ + suffix;
+  }
+
+  void write_file(const std::string& p, const std::string& content,
+                  bool append) {
+    std::FILE* f = std::fopen(p.c_str(), append ? "ab" : "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ntco: cannot write %s\n", p.c_str());
+      return;
+    }
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+  }
+
+  std::string id_;
+  std::string dir_;
+  std::size_t tables_ = 0;
+};
 
 }  // namespace ntco::bench

@@ -16,7 +16,7 @@
 using namespace ntco;
 
 int main() {
-  bench::print_header("F10", "WiFi-wait upload deferral",
+  bench::ReportWriter report("F10", "WiFi-wait upload deferral",
                       "metered spend -> $0 and radio energy falls once "
                       "slack reaches the next WiFi phase; latency is the "
                       "price");
@@ -69,6 +69,6 @@ int main() {
   }
   t.set_title("F10: 24 x 20 MB uploads across a commuter day, $4/GB "
               "cellular");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
   return 0;
 }

@@ -12,7 +12,7 @@
 using namespace ntco;
 
 int main() {
-  bench::print_header("F11", "Carbon-aware deferral",
+  bench::ReportWriter report("F11", "Carbon-aware deferral",
                       "gCO2/job falls toward the solar-trough intensity as "
                       "slack grows; misses stay 0");
 
@@ -49,6 +49,6 @@ int main() {
   t.set_title("F11: 24 jobs/day, 0.02 kWh each, solar grid 160-520 gCO2/kWh");
   t.set_caption("slack 0 h runs at the release hour's intensity "
                 "(day-average); >= 18 h always reaches the 160 g trough");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
   return 0;
 }

@@ -14,7 +14,7 @@ using namespace ntco;
 
 namespace {
 
-void sweep(const app::TaskGraph& g) {
+void sweep(bench::ReportWriter& report, const app::TaskGraph& g) {
   stats::Table t({"uplink (Mb/s)", "local (s)", "offloaded (s)", "speedup",
                   "remote comps", "cloud cost ($)"});
   for (const auto mbps : {1, 2, 5, 10, 20, 50, 100}) {
@@ -40,16 +40,16 @@ void sweep(const app::TaskGraph& g) {
                stats::cell(run.cloud_cost.to_usd(), 6)});
   }
   t.set_title("F1: " + g.name() + " (latency objective, warm runs)");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
 }
 
 }  // namespace
 
 int main() {
-  bench::print_header("F1", "Speedup vs uplink bandwidth",
+  bench::ReportWriter report("F1", "Speedup vs uplink bandwidth",
                       "compute-heavy offloads at any bandwidth; "
                       "transfer-heavy crosses over in the tens of Mb/s");
-  sweep(app::workloads::ml_batch_training());
-  sweep(app::workloads::video_transcode());
+  sweep(report, app::workloads::ml_batch_training());
+  sweep(report, app::workloads::video_transcode());
   return 0;
 }

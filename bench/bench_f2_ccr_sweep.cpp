@@ -11,7 +11,7 @@
 using namespace ntco;
 
 int main() {
-  bench::print_header("F2", "Energy saved vs compute-to-communication ratio",
+  bench::ReportWriter report("F2", "Energy saved vs compute-to-communication ratio",
                       "negative/zero savings at low CCR, then monotone "
                       "climb past break-even");
 
@@ -42,6 +42,6 @@ int main() {
   t.set_title("F2: photo-backup, demand scaled (energy objective, 4G)");
   t.set_caption("saved = 1 - offloaded/local UE energy; 0% rows are "
                 "all-local plans (offloading would waste battery)");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
   return 0;
 }

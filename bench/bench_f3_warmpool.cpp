@@ -15,7 +15,7 @@
 using namespace ntco;
 
 int main() {
-  bench::print_header("F3", "Warm pool vs latency tail and cost (bursty)",
+  bench::ReportWriter report("F3", "Warm pool vs latency tail and cost (bursty)",
                       "cold rate and p95/p99 fall as pool covers the burst "
                       "size; cost rises linearly with the pool");
 
@@ -67,6 +67,6 @@ int main() {
   }
   t.set_title("F3: bursts of 1-10 invocations every ~6 min (exp), 4 h, "
               "512 MB function, 2 min keep-alive");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
   return 0;
 }

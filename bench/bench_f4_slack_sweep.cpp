@@ -14,7 +14,7 @@
 using namespace ntco;
 
 int main() {
-  bench::print_header("F4", "Miss rate and cost vs deadline slack",
+  bench::ReportWriter report("F4", "Miss rate and cost vs deadline slack",
                       "misses 100% -> 0% as slack passes the job length; "
                       "cost steps down once slack reaches the night window");
 
@@ -63,6 +63,6 @@ int main() {
                    " h"});
   }
   t.set_title("F4: 60 jobs/day, 2-minute batch work, night tariff 0.4x");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
   return 0;
 }

@@ -14,13 +14,20 @@
 using namespace ntco;
 
 int main() {
-  bench::print_header("F5", "Edge vs serverless under load",
+  bench::ReportWriter report("F5", "Edge vs serverless under load",
                       "edge p95 explodes past its capacity; serverless p95 "
                       "flat; edge $/job falls with load, serverless flat");
 
   const auto kWork = Cycles::giga(10);
   const auto kWindow = Duration::minutes(1);
   const auto kDay = Duration::hours(24);  // edge amortisation period
+
+  // Machine-readable observability for the whole sweep: every per-user
+  // serverless simulation appends to one trace stream and one registry,
+  // so two runs with the same seeds must produce byte-identical files.
+  obs::JsonlTraceWriter trace;
+  obs::MetricsRegistry metrics;
+  const bool observe = report.machine_output();
 
   stats::Table t({"users", "edge p95 (s)", "cloud p95 (s)", "edge util",
                   "edge $/job", "cloud $/job", "cloud colds"});
@@ -61,6 +68,11 @@ int main() {
     sim::Simulator csim;
     serverless::Platform cloud(csim, {});
     net::NetworkPath wan = net::make_fixed_path(net::profile_wifi());
+    if (observe) {
+      csim.set_trace_sink(&trace);
+      cloud.attach_observer(&trace, &metrics);
+      wan.set_trace(&trace, &csim);
+    }
     const auto fn = cloud.deploy(serverless::FunctionSpec{
         "job", DataSize::megabytes(1792), DataSize::megabytes(40)});
     stats::PercentileSample cloud_latency;
@@ -95,6 +107,8 @@ int main() {
               "(edge: 4 x 3 GHz servers; cloud: 1792 MB functions)");
   t.set_caption("edge util extrapolates the window's load to a full day; "
                 "edge $/job amortises 24 h of 4-server infrastructure");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
+  report.emit_metrics(metrics);
+  report.emit_trace(trace);
   return 0;
 }

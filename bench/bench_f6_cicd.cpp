@@ -14,7 +14,7 @@
 using namespace ntco;
 
 int main() {
-  bench::print_header("F6", "CI/CD pipeline integration",
+  bench::ReportWriter report("F6", "CI/CD pipeline integration",
                       "offloading stages add ~17 min; canary catches bad "
                       "profiles; re-release recovers drift losses");
 
@@ -32,7 +32,7 @@ int main() {
       t.add_row({s.name, to_string(s.duration), s.detail});
     t.add_row({"TOTAL", to_string(rel.total_duration), ""});
     t.set_title("F6a: release stage breakdown (photo-backup)");
-    std::printf("%s\n", t.render().c_str());
+    report.emit(t);
   }
 
   // --- (b) Canary catch rate over 20 releases. ---------------------------
@@ -64,7 +64,7 @@ int main() {
                  stats::cell_pct(static_cast<double>(correct) / releases, 0)});
     }
     t.set_title("F6b: canary verdicts (5% regression tolerance)");
-    std::printf("%s\n", t.render().c_str());
+    report.emit(t);
   }
 
   // --- (c) Drift: stale plan vs re-released plan. -------------------------
@@ -108,7 +108,7 @@ int main() {
     t.add_row({"improvement", stats::cell_pct(1.0 - fresh.mean() / stale.mean(), 1)});
     t.add_row({"v2 promoted", v2.promoted ? "yes" : "no"});
     t.set_title("F6c: drift-triggered re-partition (video-transcode, 8x demand)");
-    std::printf("%s\n", t.render().c_str());
+    report.emit(t);
   }
   return 0;
 }

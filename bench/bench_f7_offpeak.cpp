@@ -43,7 +43,7 @@ double cost_per_job(sched::Policy policy, double slack_hours) {
 }  // namespace
 
 int main() {
-  bench::print_header("F7", "Cost vs deferral window under night tariff",
+  bench::ReportWriter report("F7", "Cost vs deferral window under night tariff",
                       "immediate flat; deferring policies step down to the "
                       "0.4x plateau once the window reaches 22:00");
 
@@ -58,6 +58,6 @@ int main() {
                stats::cell_pct(1.0 - cheap / imm, 1)});
   }
   t.set_title("F7: 40 daily jobs, 2-minute work each, night tariff 0.4x");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
   return 0;
 }

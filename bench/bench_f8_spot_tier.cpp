@@ -42,7 +42,7 @@ sched::DeferredReport run(sched::TierPolicy tier, Duration mean_preempt) {
 }  // namespace
 
 int main() {
-  bench::print_header("F8", "Spot tier vs preemption hazard",
+  bench::ReportWriter report("F8", "Spot tier vs preemption hazard",
                       "saving ~70% when preemptions are rare; shrinks as "
                       "hazard nears job length; misses stay 0 via fallback");
 
@@ -70,6 +70,6 @@ int main() {
                stats::cell_pct(1.0 - r.total_cost.to_usd() / od_cost, 1)});
   }
   t.set_title("F8: 60 jobs of 100 s work, 90 min slack, spot at 0.3x");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
   return 0;
 }

@@ -31,7 +31,7 @@ net::NetworkPath flaky_wifi(double loss, std::uint64_t seed) {
 }  // namespace
 
 int main() {
-  bench::print_header("F9", "Resilience under transfer loss",
+  bench::ReportWriter report("F9", "Resilience under transfer loss",
                       "completion ~100% via local fallback until downlink "
                       "loss strands results; makespan inflates with "
                       "timeouts");
@@ -71,6 +71,6 @@ int main() {
   }
   t.set_title("F9: photo-backup on WiFi with symmetric loss, 2 retries, "
               "30 runs per point");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
   return 0;
 }

@@ -9,7 +9,7 @@
 using namespace ntco;
 
 int main() {
-  bench::print_header(
+  bench::ReportWriter report(
       "T1", "Workload characteristics",
       "CCR spans >3 orders of magnitude: video << photo/etl << ml");
 
@@ -35,6 +35,6 @@ int main() {
   t.set_title("T1: workloads (local runtime/energy on the budget phone)");
   t.set_caption(
       "Pinned components (capture/UI/install) must stay on the UE.");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
   return 0;
 }

@@ -15,7 +15,8 @@ using namespace ntco;
 
 namespace {
 
-void run_table(const char* title, const partition::Objective& objective) {
+void run_table(bench::ReportWriter& report, const char* title,
+               const partition::Objective& objective) {
   stats::Table t({"workload", "algorithm", "objective", "latency (s)",
                   "energy (J)", "cost ($)", "gap-to-opt", "plan time (us)"});
   for (const auto& g : app::workloads::all()) {
@@ -50,18 +51,18 @@ void run_table(const char* title, const partition::Objective& objective) {
     }
   }
   t.set_title(title);
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
 }
 
 }  // namespace
 
 int main() {
-  bench::print_header("T2", "Partitioning algorithms",
+  bench::ReportWriter report("T2", "Partitioning algorithms",
                       "min-cut gap 0% everywhere; greedy close; local-only/"
                       "remote-all/random bracket the range");
-  run_table("T2a: latency objective (budget phone, 4G)",
+  run_table(report, "T2a: latency objective (budget phone, 4G)",
             partition::Objective::latency());
-  run_table("T2b: non-time-critical objective (money-dominant)",
+  run_table(report, "T2b: non-time-critical objective (money-dominant)",
             partition::Objective::non_time_critical());
   return 0;
 }

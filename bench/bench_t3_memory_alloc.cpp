@@ -14,7 +14,8 @@ using namespace ntco;
 
 namespace {
 
-void curve_for(const char* name, Cycles work, DataSize floor, double parallel,
+void curve_for(bench::ReportWriter& report, const char* name, Cycles work,
+               DataSize floor, double parallel,
                const alloc::MemoryOptimizer& opt) {
   stats::Table t({"memory (MB)", "duration (s)", "cost ($)", "note"});
   const auto unconstrained = opt.choose(work, floor, parallel);
@@ -33,7 +34,7 @@ void curve_for(const char* name, Cycles work, DataSize floor, double parallel,
   t.set_title(std::string("T3: memory curve for '") + name + "' (" +
               to_string(work) + ", parallel fraction " +
               stats::cell(parallel, 2) + ")");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
 
   stats::Table picks({"deadline", "chosen memory (MB)", "duration (s)",
                       "cost ($)", "feasible"});
@@ -48,13 +49,13 @@ void curve_for(const char* name, Cycles work, DataSize floor, double parallel,
   }
   picks.set_title(std::string("T3: optimiser picks for '") + name +
                   "' under deadlines");
-  std::printf("%s\n", picks.render().c_str());
+  report.emit(picks);
 }
 
 }  // namespace
 
 int main() {
-  bench::print_header("T3", "Serverless memory allocation",
+  bench::ReportWriter report("T3", "Serverless memory allocation",
                       "interior cost optimum; deadlines buy memory; "
                       "Amdahl caps the useful range");
   sim::Simulator s;
@@ -63,11 +64,12 @@ int main() {
 
   const auto ml = app::workloads::ml_batch_training();
   const auto& train = ml.component(2);  // "train"
-  curve_for("train", train.work, train.memory, train.parallel_fraction, opt);
+  curve_for(report, "train", train.work, train.memory, train.parallel_fraction,
+            opt);
 
   const auto etl = app::workloads::nightly_etl();
   const auto& forecast = etl.component(4);  // "forecast"
-  curve_for("forecast", forecast.work, forecast.memory,
+  curve_for(report, "forecast", forecast.work, forecast.memory,
             forecast.parallel_fraction, opt);
   return 0;
 }

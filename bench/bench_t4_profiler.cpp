@@ -10,7 +10,7 @@
 using namespace ntco;
 
 int main() {
-  bench::print_header("T4", "Profiler accuracy vs trace volume",
+  bench::ReportWriter report("T4", "Profiler accuracy vs trace volume",
                       "error ~ cv/sqrt(n); <5% by ~100 traces at cv=0.3");
 
   const auto truth = app::workloads::photo_backup();
@@ -47,6 +47,6 @@ int main() {
   }
   t.set_title("T4: demand estimation error (photo-backup, 20 repetitions)");
   t.set_caption("max err = worst component/flow; cv = run-to-run variation");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
   return 0;
 }

@@ -45,8 +45,8 @@ double restricted_optimum(const partition::MultiCostModel& m,
   return best_v;
 }
 
-void run_table(const char* title, double w_lat, double w_energy,
-               double w_money) {
+void run_table(bench::ReportWriter& report, const char* title, double w_lat,
+               double w_energy, double w_money) {
   stats::Table t({"workload", "dev+cloud", "dev+edge", "3-way", "3-way plan",
                   "alpha gap", "alpha time (us)"});
   for (const auto& g : app::workloads::all()) {
@@ -69,22 +69,24 @@ void run_table(const char* title, double w_lat, double w_energy,
                std::to_string(us)});
   }
   t.set_title(title);
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
 }
 
 }  // namespace
 
 int main() {
-  bench::print_header("T5", "Device/edge/cloud 3-way placement",
+  bench::ReportWriter report("T5", "Device/edge/cloud 3-way placement",
                       "latency objective uses the edge; monetary objective "
                       "collapses to device+cloud (no edge needed for "
                       "non-time-critical work); battery blends pull the "
                       "edge back for data-heavy apps");
-  run_table("T5a: latency objective (plan letters: D=device E=edge C=cloud)",
+  run_table(report,
+            "T5a: latency objective (plan letters: D=device E=edge C=cloud)",
             1.0, 0.0, 0.0);
-  run_table("T5b: monetary objective (tiny latency tie-break)", 0.0001, 0.0,
-            1.0);
-  run_table("T5c: battery-weighted blend (latency 0.01, energy 0.1, money 1)",
+  run_table(report, "T5b: monetary objective (tiny latency tie-break)", 0.0001,
+            0.0, 1.0);
+  run_table(report,
+            "T5c: battery-weighted blend (latency 0.01, energy 0.1, money 1)",
             0.01, 0.1, 1.0);
   return 0;
 }

@@ -14,7 +14,7 @@
 using namespace ntco;
 
 int main() {
-  bench::print_header("T6", "Region choice per objective weighting",
+  bench::ReportWriter report("T6", "Region choice per objective weighting",
                       "latency -> near-metro; money -> cheapest tariff; "
                       "carbon -> hydro grid at ~2% premium");
 
@@ -58,6 +58,6 @@ int main() {
   t.set_title("T6: region menu = near-metro (1.10x, +0 ms), us-east (1.00x, "
               "+35 ms), eu-north (1.02x, +60 ms, 30 g/kWh), ap-south "
               "(0.92x, +90 ms, 700 g/kWh)");
-  std::printf("%s\n", t.render().c_str());
+  report.emit(t);
   return 0;
 }

@@ -57,8 +57,8 @@ int main() {
               pool.instances, pool.predicted_cold_rate * 100.0,
               to_string(pool.standing_cost_per_hour).c_str());
   for (app::ComponentId id = 0; id < truth.component_count(); ++id)
-    if (plan.is_remote(id))
-      cloud.set_provisioned_concurrency(plan.function_of[id], pool.instances);
+    if (const auto fn = plan.function_for(id))
+      cloud.set_provisioned_concurrency(*fn, pool.instances);
 
   // --- The nightly burst: 200 backups with exponential inter-arrivals. ---
   Rng arrivals(99);

@@ -9,6 +9,8 @@
 
 #include "ntco/app/workloads.hpp"
 #include "ntco/core/controller.hpp"
+#include "ntco/obs/metrics.hpp"
+#include "ntco/obs/trace.hpp"
 
 using namespace ntco;
 
@@ -24,6 +26,15 @@ int main() {
   //    is the non-time-critical blend (money-dominant).
   core::OffloadController controller(sim, cloud, phone, path,
                                      core::ControllerConfig{});
+
+  // Optional observability: a trace sink sees every simulator event and
+  // every platform/controller span; a registry aggregates the stable
+  // metrics (names in DESIGN.md, "Observability"). Detach by not attaching.
+  obs::JsonlTraceWriter trace;
+  obs::MetricsRegistry metrics;
+  sim.set_trace_sink(&trace);
+  cloud.attach_observer(&trace, &metrics);
+  controller.attach_observer(&trace, &metrics);
 
   // 3. The application: overnight photo backup with OCR + face indexing.
   const app::TaskGraph photo = app::workloads::photo_backup();
@@ -61,5 +72,10 @@ int main() {
                          on_device.device_energy.to_joules()) *
                   100.0,
               to_string(offloaded.cloud_cost).c_str());
+
+  // 6. The run left a full audit trail behind: dump it, or write_file()
+  //    the JSONL / to_csv() the registry for offline analysis.
+  std::printf("\ntrace: %zu records; metrics: %zu instruments\n",
+              trace.record_count(), metrics.size());
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "ntco/alloc/memory_optimizer.hpp"
@@ -9,6 +10,8 @@
 #include "ntco/common/units.hpp"
 #include "ntco/device/device.hpp"
 #include "ntco/net/path.hpp"
+#include "ntco/obs/metrics.hpp"
+#include "ntco/obs/trace.hpp"
 #include "ntco/partition/cost_model.hpp"
 #include "ntco/partition/partitioners.hpp"
 #include "ntco/serverless/platform.hpp"
@@ -81,8 +84,12 @@ struct DeploymentPlan {
   partition::Environment environment;   ///< environment used for planning
   partition::CostBreakdown predicted;   ///< model-predicted totals
   /// Per-component function handle; kInvalidFunction for local components.
+  /// Direct access is discouraged — prefer function_for(), which encodes
+  /// "local" as nullopt instead of a sentinel; the raw field remains public
+  /// only for tests that assemble plans by hand.
   std::vector<serverless::FunctionId> function_of;
   /// Per-component chosen memory (meaningful for remote components).
+  /// Direct access is discouraged — prefer memory_for().
   std::vector<DataSize> memory_of;
 
   static constexpr serverless::FunctionId kInvalidFunction =
@@ -90,6 +97,22 @@ struct DeploymentPlan {
 
   [[nodiscard]] bool is_remote(app::ComponentId id) const {
     return partition.is_remote(id);
+  }
+
+  /// Deployed function serving component `id`; nullopt for components that
+  /// run on the device (or ids beyond the planned graph).
+  [[nodiscard]] std::optional<serverless::FunctionId> function_for(
+      app::ComponentId id) const {
+    if (id >= function_of.size() || function_of[id] == kInvalidFunction)
+      return std::nullopt;
+    return function_of[id];
+  }
+
+  /// Memory configured for component `id`'s function; nullopt for local
+  /// components.
+  [[nodiscard]] std::optional<DataSize> memory_for(app::ComponentId id) const {
+    if (!function_for(id).has_value()) return std::nullopt;
+    return memory_of[id];
   }
 };
 
@@ -144,6 +167,12 @@ class OffloadController {
 
   [[nodiscard]] const ControllerConfig& config() const { return cfg_; }
 
+  /// Attaches observability. `trace` receives the "ctl.*" spans (run
+  /// begin/end, transfer attempts and retries, local fallbacks); `metrics`
+  /// hosts the "core.*" instruments. Either may be null. Stable names are
+  /// listed in DESIGN.md ("Observability").
+  void attach_observer(obs::TraceSink* trace, obs::MetricsRegistry* metrics);
+
  private:
   struct RunState;
   struct RadioResult {
@@ -167,11 +196,26 @@ class OffloadController {
   void par_deliver_flow(std::shared_ptr<ParallelRun> run, std::size_t flow);
   void par_maybe_finish(const std::shared_ptr<ParallelRun>& run);
 
+  void observe_run_end(const ExecutionReport& r);
+
+  /// Cached instrument pointers; null when no registry is attached.
+  struct Instruments {
+    obs::Counter* runs = nullptr;
+    obs::Counter* run_failures = nullptr;
+    obs::Counter* local_fallbacks = nullptr;
+    obs::Counter* transfer_failures = nullptr;
+    stats::Accumulator* makespan_ms = nullptr;
+    stats::Accumulator* cloud_cost_usd = nullptr;
+    stats::Accumulator* device_energy_j = nullptr;
+  };
+
   sim::Simulator& sim_;
   serverless::Platform& platform_;
   device::Device& device_;
   net::NetworkPath& path_;
   ControllerConfig cfg_;
+  obs::TraceSink* trace_ = nullptr;
+  Instruments m_;
 };
 
 }  // namespace ntco::core

@@ -19,6 +19,42 @@ OffloadController::OffloadController(sim::Simulator& sim,
     throw ConfigError("expected_warm_rate must lie in [0, 1]");
 }
 
+void OffloadController::attach_observer(obs::TraceSink* trace,
+                                        obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  m_ = {};
+  if (metrics != nullptr) {
+    m_.runs = &metrics->counter("core.runs");
+    m_.run_failures = &metrics->counter("core.run_failures");
+    m_.local_fallbacks = &metrics->counter("core.local_fallbacks");
+    m_.transfer_failures = &metrics->counter("core.transfer_failures");
+    m_.makespan_ms = &metrics->summary("core.makespan_ms");
+    m_.cloud_cost_usd = &metrics->summary("core.cloud_cost_usd");
+    m_.device_energy_j = &metrics->summary("core.device_energy_j");
+  }
+}
+
+void OffloadController::observe_run_end(const ExecutionReport& r) {
+  if (m_.runs) {
+    m_.runs->add();
+    if (r.failed) m_.run_failures->add();
+    m_.local_fallbacks->add(r.local_fallbacks);
+    m_.transfer_failures->add(r.transfer_failures);
+    m_.makespan_ms->add(r.makespan.to_millis());
+    m_.cloud_cost_usd->add(r.cloud_cost.to_usd());
+    m_.device_energy_j->add(r.device_energy.to_joules());
+  }
+  if (trace_)
+    obs::emit(trace_, sim_.now(), "ctl.run.end",
+              {{"makespan", r.makespan},
+               {"failed", r.failed},
+               {"cloud_cost", r.cloud_cost},
+               {"remote_invocations", r.remote_invocations},
+               {"cold_starts", r.cold_starts},
+               {"transfer_failures", r.transfer_failures},
+               {"local_fallbacks", r.local_fallbacks}});
+}
+
 partition::Environment OffloadController::make_environment(
     const app::TaskGraph& g) const {
   partition::Environment env;
@@ -115,13 +151,28 @@ OffloadController::RadioResult OffloadController::radio_with_retries(
     report.transfer += a.elapsed;
     report.device_energy +=
         upload ? device_.tx_energy(a.elapsed) : device_.rx_energy(a.elapsed);
+    if (trace_)
+      obs::emit(trace_, sim_.now(), "ctl.transfer.attempt",
+                {{"dir", upload ? "up" : "down"},
+                 {"bytes", bytes},
+                 {"attempt", attempt},
+                 {"ok", a.ok},
+                 {"elapsed", a.elapsed}});
     if (a.ok) {
       result.ok = true;
       return result;
     }
     ++report.transfer_failures;
+    if (trace_ && attempt < cfg_.max_transfer_retries)
+      obs::emit(trace_, sim_.now(), "ctl.transfer.retry",
+                {{"dir", upload ? "up" : "down"},
+                 {"bytes", bytes},
+                 {"next_attempt", attempt + 1}});
   }
   result.ok = false;
+  if (trace_)
+    obs::emit(trace_, sim_.now(), "ctl.transfer.exhausted",
+              {{"dir", upload ? "up" : "down"}, {"bytes", bytes}});
   return result;
 }
 
@@ -147,6 +198,19 @@ void OffloadController::execute_async(
     std::function<void(const ExecutionReport&)> done) {
   NTCO_EXPECTS(done != nullptr);
   NTCO_EXPECTS(plan.partition.placement.size() == truth.component_count());
+  const bool sequential = cfg_.execution_mode == ExecutionMode::Sequential;
+  if (trace_)
+    obs::emit(trace_, sim_.now(), "ctl.run.begin",
+              {{"app", std::string_view(truth.name())},
+               {"mode", sequential ? "sequential" : "parallel"},
+               {"components", truth.component_count()},
+               {"remote", plan.partition.remote_count()}});
+  if (trace_ != nullptr || m_.runs != nullptr) {
+    done = [this, inner = std::move(done)](const ExecutionReport& r) {
+      observe_run_end(r);
+      inner(r);
+    };
+  }
   if (cfg_.execution_mode == ExecutionMode::Sequential) {
     auto run = std::make_shared<RunState>();
     run->plan = &plan;
@@ -188,14 +252,14 @@ void OffloadController::par_component_ready(std::shared_ptr<ParallelRun> run,
     return;
   }
   // Remote components run concurrently on the platform.
-  const auto fn = run->plan->function_of[v];
-  NTCO_EXPECTS(fn != DeploymentPlan::kInvalidFunction);
+  const auto fn = run->plan->function_for(v);
+  NTCO_EXPECTS(fn.has_value());
   const TimePoint invoked = sim_.now();
   auto* controller = this;
   // Read the work before the call: the closure argument moves `run`, and
   // argument evaluation order is unspecified.
   const Cycles work = run->truth->component(v).work;
-  platform_.invoke(fn, work,
+  platform_.invoke(*fn, work,
                    [controller, run = std::move(run), v,
                     invoked](const serverless::InvocationResult& r) mutable {
                      run->report.remote_compute += r.exec_time;
@@ -325,6 +389,9 @@ void OffloadController::step(std::shared_ptr<RunState> run) {
       if (!r.ok) {
         remote = false;
         ++run->report.local_fallbacks;
+        if (trace_)
+          obs::emit(trace_, sim_.now(), "ctl.fallback.local",
+                    {{"component", v}});
         break;
       }
     }
@@ -365,8 +432,9 @@ void OffloadController::step(std::shared_ptr<RunState> run) {
     return;
   }
 
-  const auto fn = plan.function_of[v];
-  NTCO_EXPECTS(fn != DeploymentPlan::kInvalidFunction);
+  const auto fn_opt = plan.function_for(v);
+  NTCO_EXPECTS(fn_opt.has_value());
+  const serverless::FunctionId fn = *fn_opt;
   const Cycles work = g.component(v).work;
   sim_.schedule_after(transfer, [this, run = std::move(run), fn,
                                  work]() mutable {

@@ -56,9 +56,18 @@ class FlakyLink final : public Link {
   [[nodiscard]] TransferAttempt try_transfer(DataSize size) {
     if (rng_.bernoulli(failure_rate_)) {
       ++failures_;
+      if (traced())
+        trace_event("net.link.loss", {{"bytes", size}, {"timeout", timeout_}});
       return TransferAttempt{false, timeout_};
     }
     return TransferAttempt{true, transfer_time(size)};
+  }
+
+  /// Tracing also covers the wrapped link (e.g. Markov state changes).
+  void set_trace(obs::TraceSink* sink, const obs::TraceClock* clock,
+                 std::string label) override {
+    inner_->set_trace(sink, clock, label);
+    Link::set_trace(sink, clock, std::move(label));
   }
 
   [[nodiscard]] std::uint64_t failures() const { return failures_; }

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "ntco/common/contracts.hpp"
 #include "ntco/common/rng.hpp"
 #include "ntco/common/units.hpp"
+#include "ntco/obs/trace.hpp"
 
 /// \file link.hpp
 /// One-way network link models.
@@ -59,8 +61,39 @@ class Link {
 
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
 
+  /// Attaches tracing: "net.link.*" records (state transitions, losses)
+  /// stamped with `clock` time and tagged `label`. Both pointers may be
+  /// null (disables tracing); decorators forward to their inner link.
+  virtual void set_trace(obs::TraceSink* sink, const obs::TraceClock* clock,
+                         std::string label) {
+    trace_ = sink;
+    clock_ = clock;
+    label_ = std::move(label);
+  }
+
+ protected:
+  [[nodiscard]] bool traced() const {
+    return trace_ != nullptr && clock_ != nullptr;
+  }
+
+  /// Emits one record with the link label prepended; call only when
+  /// traced().
+  void trace_event(std::string_view name,
+                   std::initializer_list<obs::Field> extra) {
+    std::vector<obs::Field> fields;
+    fields.reserve(extra.size() + 1);
+    fields.push_back({"link", std::string_view(label_)});
+    fields.insert(fields.end(), extra.begin(), extra.end());
+    const obs::TraceEvent ev{clock_->trace_now(), name, fields.data(),
+                             fields.size()};
+    trace_->record(ev);
+  }
+
  private:
   LinkStats stats_;
+  obs::TraceSink* trace_ = nullptr;
+  const obs::TraceClock* clock_ = nullptr;
+  std::string label_;
 };
 
 /// Deterministic link: constant latency and rate. The baseline model and
@@ -152,11 +185,14 @@ class MarkovLink final : public Link {
   [[nodiscard]] Duration sample_latency() override { return latency_; }
 
   [[nodiscard]] DataRate sample_rate() override {
+    const bool was_good = good_;
     if (good_) {
       if (rng_.bernoulli(p_gb_)) good_ = false;
     } else {
       if (rng_.bernoulli(p_bg_)) good_ = true;
     }
+    if (good_ != was_good && traced())
+      trace_event("net.link.state", {{"state", good_ ? "good" : "bad"}});
     return good_ ? good_rate_ : good_rate_ * bad_fraction_;
   }
 

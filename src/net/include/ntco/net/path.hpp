@@ -35,6 +35,13 @@ class NetworkPath {
     return up_->transfer_time(request) + down_->transfer_time(response);
   }
 
+  /// Attaches tracing to both directions, labelled "<name>/up" and
+  /// "<name>/down". Null pointers detach.
+  void set_trace(obs::TraceSink* sink, const obs::TraceClock* clock) {
+    up_->set_trace(sink, clock, name_ + "/up");
+    down_->set_trace(sink, clock, name_ + "/down");
+  }
+
  private:
   std::string name_;
   std::unique_ptr<Link> up_;

@@ -6,6 +6,8 @@
 
 #include "ntco/common/contracts.hpp"
 #include "ntco/common/units.hpp"
+#include "ntco/obs/metrics.hpp"
+#include "ntco/obs/trace.hpp"
 #include "ntco/serverless/platform.hpp"
 #include "ntco/sim/simulator.hpp"
 #include "ntco/stats/percentile.hpp"
@@ -125,6 +127,12 @@ class DeferredExecutor {
 
   [[nodiscard]] const DeferredReport& report() const { return report_; }
 
+  /// Attaches observability. `trace` receives the "sched.job.*" spans
+  /// (planned, spot retries, completions); `metrics` hosts the "sched.*"
+  /// instruments. Either may be null. Stable names are listed in DESIGN.md
+  /// ("Observability").
+  void attach_observer(obs::TraceSink* trace, obs::MetricsRegistry* metrics);
+
  private:
   void attempt(const DeferredJob& job, TimePoint released, TimePoint deadline,
                Duration est, Money accrued, bool spotted);
@@ -132,11 +140,25 @@ class DeferredExecutor {
                 TimePoint deadline, const serverless::InvocationResult& r,
                 Money accrued);
 
+  /// Cached instrument pointers; null when no registry is attached.
+  struct Instruments {
+    obs::Counter* jobs = nullptr;
+    obs::Counter* deadline_misses = nullptr;
+    obs::Counter* spot_attempts = nullptr;
+    obs::Counter* spot_preemptions = nullptr;
+    obs::Counter* fallbacks = nullptr;
+    stats::Accumulator* completion_latency_s = nullptr;
+    stats::Accumulator* deferral_s = nullptr;
+    stats::Accumulator* job_cost_usd = nullptr;
+  };
+
   sim::Simulator& sim_;
   serverless::Platform& platform_;
   serverless::FunctionId fn_;
   DeferredScheduler scheduler_;
   DeferredReport report_;
+  obs::TraceSink* trace_ = nullptr;
+  Instruments m_;
 };
 
 }  // namespace ntco::sched

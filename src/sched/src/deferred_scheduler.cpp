@@ -60,6 +60,23 @@ DeferredExecutor::DeferredExecutor(sim::Simulator& sim,
                                    DeferredScheduler scheduler)
     : sim_(sim), platform_(platform), fn_(fn), scheduler_(std::move(scheduler)) {}
 
+void DeferredExecutor::attach_observer(obs::TraceSink* trace,
+                                       obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  if (metrics == nullptr) {
+    m_ = Instruments{};
+    return;
+  }
+  m_.jobs = &metrics->counter("sched.jobs");
+  m_.deadline_misses = &metrics->counter("sched.deadline_misses");
+  m_.spot_attempts = &metrics->counter("sched.spot_attempts");
+  m_.spot_preemptions = &metrics->counter("sched.spot_preemptions");
+  m_.fallbacks = &metrics->counter("sched.fallbacks");
+  m_.completion_latency_s = &metrics->summary("sched.completion_latency_s");
+  m_.deferral_s = &metrics->summary("sched.deferral_s");
+  m_.job_cost_usd = &metrics->summary("sched.job_cost_usd");
+}
+
 void DeferredExecutor::submit(DeferredJob job) {
   const TimePoint released = sim_.now();
   const auto& spec = platform_.spec(fn_);
@@ -67,6 +84,14 @@ void DeferredExecutor::submit(DeferredJob job) {
       platform_.exec_time(spec.memory, job.work, spec.parallel_fraction);
   const TimePoint start = scheduler_.plan_start(released, job, est);
   const TimePoint deadline = released + job.slack;
+
+  if (trace_)
+    obs::emit(trace_, released, "sched.job.planned",
+              {{"job", std::string_view(job.name)},
+               {"start", start.since_origin()},
+               {"deadline", deadline.since_origin()},
+               {"est", est}});
+  if (m_.deferral_s) m_.deferral_s->add((start - released).to_seconds());
 
   sim_.schedule_at(start,
                    [this, job = std::move(job), released, deadline, est] {
@@ -83,8 +108,17 @@ void DeferredExecutor::attempt(const DeferredJob& job, TimePoint released,
   const bool use_spot =
       scheduler_.config().tier_policy == TierPolicy::SpotWithFallback &&
       sim_.now() + est * scheduler_.config().fallback_safety <= deadline;
-  if (use_spot) ++report_.spot_attempts;
-  if (spotted && !use_spot) ++report_.fallbacks;
+  if (use_spot) {
+    ++report_.spot_attempts;
+    if (m_.spot_attempts) m_.spot_attempts->add();
+  }
+  if (spotted && !use_spot) {
+    ++report_.fallbacks;
+    if (m_.fallbacks) m_.fallbacks->add();
+    if (trace_)
+      obs::emit(trace_, sim_.now(), "sched.job.tier_fallback",
+                {{"job", std::string_view(job.name)}});
+  }
 
   platform_.invoke(
       fn_, job.work,
@@ -92,6 +126,11 @@ void DeferredExecutor::attempt(const DeferredJob& job, TimePoint released,
        accrued](const serverless::InvocationResult& r) {
         if (r.preempted) {
           ++report_.spot_preemptions;
+          if (m_.spot_preemptions) m_.spot_preemptions->add();
+          if (trace_)
+            obs::emit(trace_, sim_.now(), "sched.job.spot_retry",
+                      {{"job", std::string_view(job.name)},
+                       {"wasted_cost", r.cost}});
           // Retry immediately; the wasted partial execution stays on the
           // bill.
           attempt(job, released, deadline, est, accrued + r.cost,
@@ -118,7 +157,19 @@ void DeferredExecutor::complete(const DeferredJob& job, TimePoint released,
   ++report_.jobs;
   if (!out.met_deadline) ++report_.deadline_misses;
   report_.total_cost += out.cost;
-  report_.completion_latency_s.add((out.finished - out.released).to_seconds());
+  const double latency_s = (out.finished - out.released).to_seconds();
+  report_.completion_latency_s.add(latency_s);
+
+  if (m_.jobs) m_.jobs->add();
+  if (!out.met_deadline && m_.deadline_misses) m_.deadline_misses->add();
+  if (m_.completion_latency_s) m_.completion_latency_s->add(latency_s);
+  if (m_.job_cost_usd) m_.job_cost_usd->add(out.cost.to_usd());
+  if (trace_)
+    obs::emit(trace_, sim_.now(), "sched.job.complete",
+              {{"job", std::string_view(job.name)},
+               {"latency", out.finished - out.released},
+               {"met_deadline", out.met_deadline},
+               {"cost", out.cost}});
 }
 
 }  // namespace ntco::sched

@@ -11,6 +11,8 @@
 #include "ntco/common/error.hpp"
 #include "ntco/common/rng.hpp"
 #include "ntco/common/units.hpp"
+#include "ntco/obs/metrics.hpp"
+#include "ntco/obs/trace.hpp"
 #include "ntco/sim/simulator.hpp"
 
 /// \file platform.hpp
@@ -139,6 +141,13 @@ class Platform {
   Platform(const Platform&) = delete;
   Platform& operator=(const Platform&) = delete;
 
+  /// Attaches observability. `trace` receives the "faas.*" span records
+  /// (cold starts, warm reuse, throttling, spot preemption); `metrics`
+  /// hosts the "serverless.*" instruments. Either may be null; with both
+  /// null the hooks cost one branch per event. Stable names are listed in
+  /// DESIGN.md ("Observability").
+  void attach_observer(obs::TraceSink* trace, obs::MetricsRegistry* metrics);
+
   /// Registers a function. Memory is validated against provider limits and
   /// must be quantum-aligned (use quantize_memory()). Throws ConfigError.
   FunctionId deploy(FunctionSpec spec);
@@ -237,9 +246,24 @@ class Platform {
   void accrue_provisioned() const;
   [[nodiscard]] double provisioned_gb() const;
 
+  /// Cached instrument pointers; null when no registry is attached, so the
+  /// hot path pays one pointer test per update.
+  struct Instruments {
+    obs::Counter* invocations = nullptr;
+    obs::Counter* cold_starts = nullptr;
+    obs::Counter* warm_reuses = nullptr;
+    obs::Counter* throttled = nullptr;
+    obs::Counter* preemptions = nullptr;
+    stats::Accumulator* queue_wait_ms = nullptr;
+    stats::Accumulator* exec_ms = nullptr;
+    stats::Accumulator* init_ms = nullptr;
+  };
+
   sim::Simulator& sim_;
   PlatformConfig cfg_;
   Rng rng_;
+  obs::TraceSink* trace_ = nullptr;
+  Instruments m_;
   std::vector<Function> fns_;
   std::deque<PendingInvocation> queue_;
   std::size_t busy_ = 0;

@@ -90,12 +90,39 @@ void Platform::set_provisioned_concurrency(FunctionId id, std::size_t n) {
   }
 }
 
+void Platform::attach_observer(obs::TraceSink* trace,
+                               obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  m_ = {};
+  if (metrics != nullptr) {
+    m_.invocations = &metrics->counter("serverless.invocations");
+    m_.cold_starts = &metrics->counter("serverless.cold_starts");
+    m_.warm_reuses = &metrics->counter("serverless.warm_reuses");
+    m_.throttled = &metrics->counter("serverless.throttled");
+    m_.preemptions = &metrics->counter("serverless.preemptions");
+    m_.queue_wait_ms = &metrics->summary("serverless.queue_wait_ms");
+    m_.exec_ms = &metrics->summary("serverless.exec_ms");
+    m_.init_ms = &metrics->summary("serverless.init_ms");
+  }
+}
+
 void Platform::invoke(FunctionId id, Cycles work, Callback done, Tier tier) {
   NTCO_EXPECTS(id < fns_.size());
   NTCO_EXPECTS(done != nullptr);
   ++stats_.invocations;
-  if (busy_ >= cfg_.account_concurrency || !queue_.empty())
+  if (m_.invocations) m_.invocations->add();
+  if (trace_)
+    obs::emit(trace_, sim_.now(), "faas.invoke",
+              {{"fn", id},
+               {"work", work.value()},
+               {"tier", tier == Tier::Spot ? "spot" : "on_demand"}});
+  if (busy_ >= cfg_.account_concurrency || !queue_.empty()) {
     ++stats_.throttled;
+    if (m_.throttled) m_.throttled->add();
+    if (trace_)
+      obs::emit(trace_, sim_.now(), "faas.throttled",
+                {{"fn", id}, {"queue_depth", queue_.size()}});
+  }
   queue_.push_back(
       PendingInvocation{id, work, std::move(done), sim_.now(), tier});
   pump();
@@ -195,10 +222,18 @@ void Platform::begin(PendingInvocation inv) {
     provisioned = it->provisioned;
     if (!provisioned) sim_.cancel(it->expiry_event);
     fn.idle.erase(std::next(it).base());
+    if (m_.warm_reuses) m_.warm_reuses->add();
+    if (trace_)
+      obs::emit(trace_, sim_.now(), "faas.warm_reuse",
+                {{"fn", inv.fn}, {"provisioned", provisioned}});
   } else {
     cold = true;
     init = cold_start_time(fn.spec.image);
     ++stats_.cold_starts;
+    if (m_.cold_starts) m_.cold_starts->add();
+    if (trace_)
+      obs::emit(trace_, sim_.now(), "faas.cold_start",
+                {{"fn", inv.fn}, {"init", init}});
   }
 
   ++busy_;
@@ -247,6 +282,22 @@ void Platform::begin(PendingInvocation inv) {
         stats_.exec_cost += r.cost - cfg_.price_per_request;
         stats_.request_cost += cfg_.price_per_request;
         if (preempted) ++stats_.preemptions;
+
+        if (m_.exec_ms) m_.exec_ms->add(exec.to_millis());
+        if (m_.init_ms) m_.init_ms->add(init.to_millis());
+        if (m_.queue_wait_ms) m_.queue_wait_ms->add(r.queue_wait.to_millis());
+        if (preempted && m_.preemptions) m_.preemptions->add();
+        if (trace_) {
+          if (preempted)
+            obs::emit(trace_, sim_.now(), "faas.preempted",
+                      {{"fn", fn_id}, {"exec", exec}});
+          obs::emit(trace_, sim_.now(), "faas.complete",
+                    {{"fn", fn_id},
+                     {"exec", exec},
+                     {"queue_wait", r.queue_wait},
+                     {"cold", cold},
+                     {"cost", r.cost}});
+        }
 
         if (preempted) {
           // Torn down: release concurrency without returning an instance.

@@ -8,6 +8,7 @@
 
 #include "ntco/common/contracts.hpp"
 #include "ntco/common/units.hpp"
+#include "ntco/obs/trace.hpp"
 
 /// \file simulator.hpp
 /// Deterministic discrete-event simulation kernel.
@@ -16,6 +17,11 @@
 /// timestamp fire in the order they were scheduled. All platform simulators
 /// (serverless, edge, network, scheduler, CI/CD) are built on this kernel, in
 /// the role EdgeCloudSim / iFogSim play for published offloading studies.
+///
+/// Observability: attach an obs::TraceSink to log every event lifecycle
+/// transition ("sim.event.scheduled" / "sim.event.fired" /
+/// "sim.event.cancelled", see DESIGN.md "Observability"). With no sink
+/// attached the hooks cost one branch per transition and nothing else.
 
 namespace ntco::sim {
 
@@ -28,12 +34,21 @@ using EventId = std::uint64_t;
 ///   Simulator sim;
 ///   sim.schedule_after(Duration::millis(5), [&]{ ... });
 ///   sim.run();
-class Simulator {
+class Simulator : public obs::TraceClock {
  public:
   using Handler = std::function<void()>;
 
   /// Current simulated time. Monotonically non-decreasing.
   [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// obs::TraceClock: lets traced components that hold no Simulator
+  /// reference (network links) timestamp their records.
+  [[nodiscard]] TimePoint trace_now() const override { return now_; }
+
+  /// Attaches a sink receiving every event lifecycle record; nullptr
+  /// detaches. The sink must outlive the simulator or be detached first.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  [[nodiscard]] obs::TraceSink* trace_sink() const { return trace_; }
 
   /// Schedules `fn` at absolute time `t`. Pre: t >= now().
   EventId schedule_at(TimePoint t, Handler fn) {
@@ -42,6 +57,8 @@ class Simulator {
     const EventId id = next_seq_++;
     queue_.push(Event{t, id, std::move(fn)});
     pending_ids_.insert(id);
+    if (trace_)
+      obs::emit(trace_, now_, "sim.event.scheduled", {{"seq", id}, {"at", t}});
     return id;
   }
 
@@ -56,6 +73,7 @@ class Simulator {
   bool cancel(EventId id) {
     if (pending_ids_.erase(id) == 0) return false;
     cancelled_.insert(id);
+    if (trace_) obs::emit(trace_, now_, "sim.event.cancelled", {{"seq", id}});
     return true;
   }
 
@@ -65,14 +83,24 @@ class Simulator {
   /// Fires the earliest pending event. Returns false if none remain.
   bool step() {
     while (!queue_.empty()) {
-      // Copy out the handler before popping so that the handler may schedule
-      // new events (which may reallocate the queue) safely.
-      Event ev = queue_.top();
+      const Event& top = queue_.top();
+      if (cancelled_.erase(top.seq) > 0) {
+        queue_.pop();
+        continue;
+      }
+      now_ = top.time;
+      const EventId seq = top.seq;
+      // Move the handler out before popping: the handler may schedule new
+      // events (which can reallocate the queue), so it must not be invoked
+      // through queue storage. The const_cast is sound because the
+      // comparator orders by (time, seq) only, so a moved-from fn cannot
+      // perturb the heap; moving spares a std::function copy (and its heap
+      // clone for captures beyond the small-buffer size) on every event.
+      Handler fn = std::move(const_cast<Event&>(top).fn);
       queue_.pop();
-      if (cancelled_.erase(ev.seq) > 0) continue;
-      now_ = ev.time;
-      pending_ids_.erase(ev.seq);
-      ev.fn();
+      pending_ids_.erase(seq);
+      if (trace_) obs::emit(trace_, now_, "sim.event.fired", {{"seq", seq}});
+      fn();
       return true;
     }
     return false;
@@ -130,6 +158,7 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
   std::unordered_set<EventId> pending_ids_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace ntco::sim

@@ -29,6 +29,11 @@ class Table {
   void set_title(std::string title) { title_ = std::move(title); }
   void set_caption(std::string caption) { caption_ = std::move(caption); }
 
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] const std::string& caption() const { return caption_; }
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
   [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
 
   /// Renders with column alignment, a header separator, and the title and
@@ -37,6 +42,11 @@ class Table {
 
   /// Renders as comma-separated values (headers first), for plotting.
   [[nodiscard]] std::string render_csv() const;
+
+  /// Renders as JSON Lines: one object per data row, keyed by header, all
+  /// values as strings (cells keep their formatted precision). The title is
+  /// included as a "table" key when set.
+  [[nodiscard]] std::string render_jsonl() const;
 
  private:
   std::string title_;

@@ -50,6 +50,56 @@ std::string Table::render_csv() const {
   return out.str();
 }
 
+namespace {
+
+void append_escaped(std::ostringstream& out, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out << buf;
+        } else {
+          out << ch;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string Table::render_jsonl() const {
+  std::ostringstream out;
+  for (const auto& row : rows_) {
+    out << '{';
+    bool first = true;
+    if (!title_.empty()) {
+      out << "\"table\":\"";
+      append_escaped(out, title_);
+      out << '"';
+      first = false;
+    }
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (!first) out << ',';
+      first = false;
+      out << '"';
+      append_escaped(out, headers_[c]);
+      out << "\":\"";
+      append_escaped(out, row[c]);
+      out << '"';
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
 std::string cell(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", precision, v);

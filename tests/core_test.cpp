@@ -48,16 +48,22 @@ TEST(Prepare, DeploysOneFunctionPerRemoteComponent) {
   std::size_t deployed = 0;
   for (app::ComponentId id = 0; id < g.component_count(); ++id) {
     if (plan.is_remote(id)) {
-      ASSERT_NE(plan.function_of[id], DeploymentPlan::kInvalidFunction);
+      const auto fn = plan.function_for(id);
+      ASSERT_TRUE(fn.has_value());
       // Memory respects the component's working set.
-      EXPECT_GE(plan.memory_of[id], g.component(id).memory);
-      EXPECT_EQ(fx.platform.spec(plan.function_of[id]).memory,
-                plan.memory_of[id]);
+      const auto mem = plan.memory_for(id);
+      ASSERT_TRUE(mem.has_value());
+      EXPECT_GE(*mem, g.component(id).memory);
+      EXPECT_EQ(fx.platform.spec(*fn).memory, *mem);
       ++deployed;
     } else {
-      EXPECT_EQ(plan.function_of[id], DeploymentPlan::kInvalidFunction);
+      EXPECT_FALSE(plan.function_for(id).has_value());
+      EXPECT_FALSE(plan.memory_for(id).has_value());
     }
   }
+  // Out-of-range ids read as "not deployed" rather than faulting.
+  const auto past_end = static_cast<app::ComponentId>(g.component_count());
+  EXPECT_FALSE(plan.function_for(past_end).has_value());
   EXPECT_EQ(fx.platform.function_count(), deployed);
   EXPECT_GT(deployed, 0u);  // ML training must offload on 4G
 }

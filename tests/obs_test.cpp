@@ -1,0 +1,214 @@
+#include "ntco/obs/metrics.hpp"
+#include "ntco/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ntco/app/workloads.hpp"
+#include "ntco/core/controller.hpp"
+
+namespace ntco::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSONL trace writer: exact rendering.
+
+TEST(JsonlTraceWriter, RendersRecordsExactly) {
+  JsonlTraceWriter w;
+  emit(&w, TimePoint::at(Duration::micros(1500)), "faas.cold_start",
+       {{"fn", std::uint64_t{0}}, {"init", Duration::micros(180600)}});
+  emit(&w, TimePoint::at(Duration::millis(2)), "net.link.state",
+       {{"link", "4g/up"}, {"good", false}});
+  emit(&w, TimePoint::origin(), "sim.event.fired", {});
+  EXPECT_EQ(w.record_count(), 3u);
+  EXPECT_EQ(w.str(),
+            "{\"t_us\":1500,\"ev\":\"faas.cold_start\",\"fn\":0,"
+            "\"init\":180600}\n"
+            "{\"t_us\":2000,\"ev\":\"net.link.state\",\"link\":\"4g/up\","
+            "\"good\":false}\n"
+            "{\"t_us\":0,\"ev\":\"sim.event.fired\"}\n");
+}
+
+TEST(JsonlTraceWriter, EscapesStringsAndRendersAllKinds) {
+  JsonlTraceWriter w;
+  emit(&w, TimePoint::origin(), "test",
+       {{"s", "a\"b\\c\nd"},
+        {"i", std::int64_t{-7}},
+        {"d", 0.25},
+        {"b", true}});
+  EXPECT_EQ(w.str(),
+            "{\"t_us\":0,\"ev\":\"test\",\"s\":\"a\\\"b\\\\c\\nd\","
+            "\"i\":-7,\"d\":0.25,\"b\":true}\n");
+  w.clear();
+  EXPECT_EQ(w.record_count(), 0u);
+  EXPECT_TRUE(w.str().empty());
+}
+
+TEST(Emit, NullSinkIsANoOp) {
+  emit(nullptr, TimePoint::origin(), "never", {{"k", 1.0}});  // must not crash
+  CountingSink sink;
+  emit(&sink, TimePoint::origin(), "once");
+  EXPECT_EQ(sink.count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+
+TEST(MetricsRegistry, CounterGaugeSummaryArithmetic) {
+  MetricsRegistry reg;
+  reg.counter("a.hits").add();
+  reg.counter("a.hits").add(4);
+  EXPECT_EQ(reg.counter("a.hits").value(), 5u);
+
+  reg.gauge("a.depth").set(3.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("a.depth").value(), 3.5);
+
+  auto& s = reg.summary("a.wait_ms");
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_EQ(reg.summary("a.wait_ms").count(), 2u);
+  EXPECT_DOUBLE_EQ(reg.summary("a.wait_ms").mean(), 2.0);
+
+  // Same name -> same instrument, not a fresh one.
+  EXPECT_EQ(&reg.counter("a.hits"), &reg.counter("a.hits"));
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, HistogramBinsAndLookups) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat", 0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(9.9);
+  h.add(42.0);  // overflow
+  EXPECT_EQ(&reg.histogram("lat", 0.0, 10.0, 5), &h);
+
+  EXPECT_NE(reg.find_histogram("lat"), nullptr);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+  EXPECT_EQ(reg.find_counter("lat"), nullptr);
+}
+
+TEST(MetricsRegistry, CsvIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("z.last").add(2);
+  reg.counter("a.first").add(1);
+  reg.gauge("m.mid").set(-1.5);
+  const std::string csv = reg.to_csv();
+  EXPECT_EQ(csv.rfind("metric,kind,field,value\n", 0), 0u);
+  const auto a = csv.find("a.first,counter,value,1");
+  const auto m = csv.find("m.mid,gauge,value,-1.5");
+  const auto z = csv.find("z.last,counter,value,2");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: determinism and the disabled-by-default guarantee.
+
+struct Fixture {
+  sim::Simulator sim;
+  serverless::Platform platform;
+  device::Device ue;
+  net::NetworkPath path;
+  core::OffloadController controller;
+
+  Fixture()
+      : platform(sim, {}),
+        ue(device::budget_phone()),
+        path(net::make_fixed_path(net::profile_4g())),
+        controller(sim, platform, ue, path, {}) {}
+};
+
+/// One fully observed end-to-end run; returns the artifacts.
+struct Observed {
+  std::string trace;
+  std::string metrics_csv;
+  core::ExecutionReport report;
+};
+
+Observed observed_run() {
+  Fixture fx;
+  JsonlTraceWriter trace;
+  MetricsRegistry metrics;
+  fx.sim.set_trace_sink(&trace);
+  fx.platform.attach_observer(&trace, &metrics);
+  fx.controller.attach_observer(&trace, &metrics);
+  fx.path.set_trace(&trace, &fx.sim);
+  const auto g = app::workloads::ml_batch_training();
+  const auto plan =
+      fx.controller.prepare(g, partition::MinCutPartitioner{});
+  const auto report = fx.controller.execute(plan, g);
+  return {trace.str(), metrics.to_csv(), report};
+}
+
+TEST(Determinism, IdenticalRunsProduceByteIdenticalArtifacts) {
+  const auto first = observed_run();
+  const auto second = observed_run();
+  EXPECT_GT(first.trace.size(), 0u);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.metrics_csv, second.metrics_csv);
+}
+
+TEST(Determinism, TraceCoversEveryLayer) {
+  const auto run = observed_run();
+  EXPECT_NE(run.trace.find("\"ev\":\"sim.event.fired\""), std::string::npos);
+  EXPECT_NE(run.trace.find("\"ev\":\"faas.invoke\""), std::string::npos);
+  EXPECT_NE(run.trace.find("\"ev\":\"faas.cold_start\""), std::string::npos);
+  EXPECT_NE(run.trace.find("\"ev\":\"ctl.run.begin\""), std::string::npos);
+  EXPECT_NE(run.trace.find("\"ev\":\"ctl.run.end\""), std::string::npos);
+  EXPECT_NE(run.metrics_csv.find("serverless.invocations"),
+            std::string::npos);
+  EXPECT_NE(run.metrics_csv.find("core.runs"), std::string::npos);
+}
+
+TEST(DisabledByDefault, UntracedRunRecordsNothingAndBehavesIdentically) {
+  // No sink attached: nothing may be recorded anywhere...
+  Fixture fx;
+  const auto g = app::workloads::ml_batch_training();
+  const auto plan =
+      fx.controller.prepare(g, partition::MinCutPartitioner{});
+  const auto plain = fx.controller.execute(plan, g);
+
+  // ...and attaching one must observe, not perturb: the measured report
+  // matches the untraced run bit for bit.
+  const auto traced = observed_run();
+  EXPECT_EQ(plain.makespan, traced.report.makespan);
+  EXPECT_EQ(plain.device_energy, traced.report.device_energy);
+  EXPECT_EQ(plain.cloud_cost, traced.report.cloud_cost);
+  EXPECT_EQ(plain.remote_invocations, traced.report.remote_invocations);
+  EXPECT_EQ(plain.cold_starts, traced.report.cold_starts);
+}
+
+TEST(DisabledByDefault, DetachResetsToZeroCost) {
+  Fixture fx;
+  CountingSink sink;
+  fx.sim.set_trace_sink(&sink);
+  fx.sim.schedule_after(Duration::millis(1), [] {});
+  fx.sim.run();
+  EXPECT_GT(sink.count(), 0u);
+
+  const auto before = sink.count();
+  fx.sim.set_trace_sink(nullptr);
+  fx.sim.schedule_after(Duration::millis(1), [] {});
+  fx.sim.run();
+  EXPECT_EQ(sink.count(), before);
+}
+
+TEST(SimulatorTrace, EmitsScheduledFiredCancelled) {
+  sim::Simulator sim;
+  JsonlTraceWriter trace;
+  sim.set_trace_sink(&trace);
+  const auto keep = sim.schedule_after(Duration::millis(1), [] {});
+  (void)keep;
+  const auto drop = sim.schedule_after(Duration::millis(2), [] {});
+  sim.cancel(drop);
+  sim.run();
+  const auto& s = trace.str();
+  EXPECT_NE(s.find("\"ev\":\"sim.event.scheduled\""), std::string::npos);
+  EXPECT_NE(s.find("\"ev\":\"sim.event.fired\""), std::string::npos);
+  EXPECT_NE(s.find("\"ev\":\"sim.event.cancelled\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntco::obs

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Configure, build, and run the test suite under ASan + UBSan.
+#
+#   tools/sanitize.sh [build-dir]       (default: build-asan)
+#
+# Benches and examples are skipped: the sanitizer run exists to shake out
+# memory and UB errors in the library and its tests, not to time anything.
+set -eu
+
+BUILD_DIR="${1:-build-asan}"
+SRC_DIR="$(dirname "$0")/.."
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
+  -DNTCO_SANITIZE=ON \
+  -DNTCO_BUILD_BENCHMARKS=OFF \
+  -DNTCO_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)"
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure
