@@ -8,25 +8,40 @@
 // run — while makespan inflates with burned timeouts; only downlink loss
 // can abort a run (stranded results), which shows up at high loss as
 // non-complete runs.
+//
+// All (loss rate, replica) pairs run concurrently on the fleet; per-point
+// aggregation folds replicas in replica order, so the table is identical
+// at any NTCO_THREADS.
+
+#include <vector>
 
 #include "bench_common.hpp"
+#include "ntco/fleet/sweep.hpp"
 #include "ntco/net/flaky_link.hpp"
 
 using namespace ntco;
 
 namespace {
 
-net::NetworkPath flaky_wifi(double loss, std::uint64_t seed) {
+net::NetworkPath flaky_wifi(double loss, const Rng& rng) {
   const auto p = net::profile_wifi();
   return net::NetworkPath(
       "flaky-wifi",
       std::make_unique<net::FlakyLink>(
           std::make_unique<net::FixedLink>(p.one_way_latency, p.uplink), loss,
-          Duration::seconds(2), Rng(seed)),
+          Duration::seconds(2), rng.fork(0)),
       std::make_unique<net::FlakyLink>(
           std::make_unique<net::FixedLink>(p.one_way_latency, p.downlink),
-          loss, Duration::seconds(2), Rng(seed + 1)));
+          loss, Duration::seconds(2), rng.fork(1)));
 }
+
+struct RunResult {
+  bool completed = false;
+  double makespan_s = 0.0;
+  double cost_usd = 0.0;
+  std::uint32_t fallbacks = 0;
+  std::uint32_t retries = 0;
+};
 
 }  // namespace
 
@@ -37,40 +52,57 @@ int main() {
                       "timeouts");
 
   const auto g = app::workloads::photo_backup();
+  const std::vector<double> losses{0.0, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0};
+  const int kRuns = 30;
+
+  fleet::Sweep sweep(1000);
+  const auto groups = sweep.replicate(
+      losses, static_cast<std::size_t>(kRuns),
+      [&g](const double& loss, fleet::ReplicaContext& ctx) {
+        sim::Simulator sim;
+        serverless::Platform cloud(sim, {});
+        device::Device ue(device::budget_phone());
+        auto path = flaky_wifi(loss, ctx.rng);
+        core::ControllerConfig cfg;
+        cfg.objective = partition::Objective::latency();
+        cfg.max_transfer_retries = 2;
+        core::OffloadController ctl(sim, cloud, ue, path, cfg);
+        const auto plan = ctl.prepare(g, partition::MinCutPartitioner{});
+        const auto r = ctl.execute(plan, g);
+        RunResult out;
+        out.completed = !r.failed;
+        if (out.completed) {
+          out.makespan_s = r.makespan.to_seconds();
+          out.cost_usd = r.cloud_cost.to_usd();
+        }
+        out.fallbacks = static_cast<std::uint32_t>(r.local_fallbacks);
+        out.retries = static_cast<std::uint32_t>(r.transfer_failures);
+        return out;
+      });
+
   stats::Table t({"loss rate", "completed", "fallbacks/run", "retries/run",
                   "median makespan (s)", "median $/run"});
-  for (const double loss : {0.0, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0}) {
-    const int kRuns = 30;
+  for (std::size_t p = 0; p < losses.size(); ++p) {
     int completed = 0;
     double fallbacks = 0, retries = 0;
     stats::PercentileSample makespans, costs;
-    for (int rep = 0; rep < kRuns; ++rep) {
-      sim::Simulator sim;
-      serverless::Platform cloud(sim, {});
-      device::Device ue(device::budget_phone());
-      auto path = flaky_wifi(loss, 1000 + static_cast<std::uint64_t>(rep));
-      core::ControllerConfig cfg;
-      cfg.objective = partition::Objective::latency();
-      cfg.max_transfer_retries = 2;
-      core::OffloadController ctl(sim, cloud, ue, path, cfg);
-      const auto plan = ctl.prepare(g, partition::MinCutPartitioner{});
-      const auto r = ctl.execute(plan, g);
-      if (!r.failed) {
+    for (const RunResult& r : groups[p]) {  // replica order
+      if (r.completed) {
         ++completed;
-        makespans.add(r.makespan.to_seconds());
-        costs.add(r.cloud_cost.to_usd());
+        makespans.add(r.makespan_s);
+        costs.add(r.cost_usd);
       }
-      fallbacks += static_cast<double>(r.local_fallbacks);
-      retries += static_cast<double>(r.transfer_failures);
+      fallbacks += r.fallbacks;
+      retries += r.retries;
     }
-    t.add_row({stats::cell_pct(loss, 0), std::to_string(completed) + "/30",
+    t.add_row({stats::cell_pct(losses[p], 0), std::to_string(completed) + "/30",
                stats::cell(fallbacks / kRuns, 2),
                stats::cell(retries / kRuns, 2),
                completed ? stats::cell(makespans.median(), 2) : "-",
                completed ? stats::cell(costs.median(), 6) : "-"});
   }
   t.set_title("F9: photo-backup on WiFi with symmetric loss, 2 retries, "
-              "30 runs per point");
+              "30 runs per point (fleet-parallel)");
   report.emit(t);
   return 0;
 }

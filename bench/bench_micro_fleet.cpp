@@ -1,0 +1,94 @@
+// MF — Fleet engine scaling: wall-clock speedup of an 8-way replica sweep
+// as the worker count grows, plus the determinism cross-check.
+//
+// Eight identical replicas (each a full serverless burst simulation on its
+// own sim::Simulator) run on 1, 2, 4, and 8 workers; the table reports the
+// wall time, the speedup over the 1-worker fleet, and whether the merged
+// results digest is byte-identical to the 1-worker digest (it must be —
+// the fleet's determinism guarantee). Worker counts are explicit here, so
+// NTCO_THREADS does not change what this bench measures. Ideal speedup at
+// 8 workers is min(8, cores); on a single-core container every row
+// measures ~1x, which is itself the honest result.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ntco/fleet/replicator.hpp"
+
+using namespace ntco;
+
+namespace {
+
+/// One replica: a 2000-invocation burst against a private serverless
+/// region, arrivals drawn from the shard's rng stream. Returns a digest
+/// of everything the merge would consume.
+std::string simulate_replica(fleet::ShardContext& ctx) {
+  sim::Simulator sim;
+  serverless::Platform cloud(sim, {});
+  const auto fn = cloud.deploy(serverless::FunctionSpec{
+      "job", DataSize::megabytes(1792), DataSize::megabytes(40)});
+  stats::PercentileSample latency;
+  const int kInvocations = 10000;
+  const auto kWindow = Duration::minutes(10);
+  for (int i = 0; i < kInvocations; ++i) {
+    const auto at = kWindow * ctx.rng.uniform(0.0, 1.0);
+    sim.schedule_after(at, [&] {
+      cloud.invoke(fn, Cycles::giga(5), [&](const serverless::InvocationResult& r) {
+        latency.add((r.finished - r.submitted).to_seconds());
+      });
+    });
+  }
+  sim.run();
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "p50=%.9g p95=%.9g cost=%.9g colds=%llu;",
+                latency.median(), latency.p95(), cloud.total_cost().to_usd(),
+                static_cast<unsigned long long>(cloud.stats().cold_starts));
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  bench::ReportWriter report("MF", "Fleet engine scaling (8-way replica sweep)",
+                      "wall time falls ~linearly with workers up to the "
+                      "core count; merged digest identical on every row");
+
+  const std::size_t kReplicas = 8;
+  const std::uint64_t kSeed = 77;
+
+  const auto timed_run = [&](std::size_t threads, double* wall_ms) {
+    fleet::Replicator rep(kSeed, threads);
+    const auto begin = std::chrono::steady_clock::now();
+    const auto digests = rep.map(kReplicas, simulate_replica);
+    *wall_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - begin)
+                   .count();
+    std::string merged;
+    for (const auto& d : digests) merged += d;  // shard order
+    return merged;
+  };
+
+  // Warm-up run so first-row timings do not pay allocator warm-up.
+  double warmup_ms = 0.0;
+  const std::string baseline_digest = timed_run(1, &warmup_ms);
+
+  stats::Table t({"workers", "wall (ms)", "speedup", "digest identical"});
+  double base_ms = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    double wall_ms = 0.0;
+    const std::string digest = timed_run(threads, &wall_ms);
+    if (threads == 1) base_ms = wall_ms;
+    t.add_row({std::to_string(threads), stats::cell(wall_ms, 1),
+               stats::cell(base_ms / wall_ms, 2) + "x",
+               digest == baseline_digest ? "yes" : "NO"});
+  }
+  t.set_title("MF: 8 replicas x 10000 invocations, workers swept 1..8 "
+              "(explicit, NTCO_THREADS ignored)");
+  t.set_caption("digest = per-shard (p50, p95, cost, colds) concatenated "
+                "in shard order; any 'NO' is a determinism bug");
+  report.emit(t);
+  return 0;
+}

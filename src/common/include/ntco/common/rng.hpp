@@ -26,6 +26,24 @@ class Rng {
     return Rng(splitmix64(seed_ ^ (0x9E3779B97F4A7C15ULL * (stream_id + 1))));
   }
 
+  /// Shard substream `shard` of root stream `seed` — the fleet engine's
+  /// seed-derivation scheme (fleet::Replicator gives shard s the stream
+  /// `Rng::stream(seed, s)`). Unlike fork()'s single xor-multiply feed,
+  /// seed and shard are hashed through independent SplitMix64 rounds
+  /// before combining, so nested derivations — a stream() of a stream(),
+  /// as fleet::Sweep uses for (point, replica) pairs — land in a different
+  /// part of the keyspace than sibling streams of the same parent.
+  [[nodiscard]] static Rng stream(std::uint64_t seed, std::uint64_t shard) {
+    const std::uint64_t a = splitmix64(seed ^ 0x8BADF00DDEADBEEFULL);
+    const std::uint64_t b = splitmix64(shard + 0x9E3779B97F4A7C15ULL);
+    return Rng(splitmix64(a ^ (b + 0x517CC1B727220A95ULL)));
+  }
+
+  /// Instance form: shard substream of this stream's own seed.
+  [[nodiscard]] Rng stream(std::uint64_t shard) const {
+    return stream(seed_, shard);
+  }
+
   /// Uniform real in [lo, hi).
   [[nodiscard]] double uniform(double lo, double hi) {
     NTCO_EXPECTS(lo <= hi);

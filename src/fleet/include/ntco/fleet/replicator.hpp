@@ -1,0 +1,109 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "ntco/common/contracts.hpp"
+#include "ntco/common/rng.hpp"
+#include "ntco/fleet/thread_pool.hpp"
+
+/// \file replicator.hpp
+/// Deterministic sharded replica execution — the fleet engine's core.
+///
+/// A replica is one independent simulation (its own sim::Simulator, its
+/// own platforms, its own Rng substream). The Replicator runs N replicas
+/// across a ThreadPool and returns their results *in shard order*, so any
+/// reduction the caller performs is a sequential left fold over a
+/// thread-count-independent sequence: merged output is byte-identical
+/// whether the fleet ran on 1 worker or 16. Two rules make that hold:
+///
+///  1. Randomness is keyed by shard, never by thread: shard s draws from
+///     Rng::stream(seed, s) regardless of which worker executes it.
+///  2. Results land in per-shard slots; nothing is reduced concurrently.
+///
+/// Replica bodies must not share mutable state (each owns its world); the
+/// pool provides the happens-before edge between a shard's writes and the
+/// reducing thread's reads.
+
+namespace ntco::fleet {
+
+/// Everything a replica body receives. `rng` is the shard's private
+/// substream — a pure function of (seed, shard), so results cannot depend
+/// on NTCO_THREADS.
+struct ShardContext {
+  std::size_t shard = 0;
+  std::size_t shard_count = 1;
+  Rng rng{0};
+};
+
+/// Runs shard bodies across a worker pool and reduces in shard order.
+class Replicator {
+ public:
+  /// `threads == 0` means default_thread_count() (NTCO_THREADS override,
+  /// else hardware concurrency).
+  explicit Replicator(std::uint64_t seed, std::size_t threads = 0)
+      : seed_(seed),
+        threads_(threads == 0 ? default_thread_count() : threads) {}
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+
+  /// Runs `shards` replicas of `body(ShardContext&)` and returns their
+  /// results in shard order. If any body throws, the first exception in
+  /// shard order is rethrown after all shards finished (so no replica is
+  /// abandoned mid-run).
+  template <class Fn>
+  [[nodiscard]] auto map(std::size_t shards, Fn&& body)
+      -> std::vector<std::decay_t<std::invoke_result_t<Fn&, ShardContext&>>> {
+    using R = std::decay_t<std::invoke_result_t<Fn&, ShardContext&>>;
+    NTCO_EXPECTS(shards > 0);
+    std::vector<std::optional<R>> slots(shards);
+    std::vector<std::exception_ptr> errors(shards);
+    auto run_shard = [&](std::size_t s) {
+      ShardContext ctx{s, shards, Rng::stream(seed_, s)};
+      try {
+        slots[s].emplace(body(ctx));
+      } catch (...) {
+        errors[s] = std::current_exception();
+      }
+    };
+    if (threads_ == 1 || shards == 1) {
+      for (std::size_t s = 0; s < shards; ++s) run_shard(s);
+    } else {
+      ThreadPool pool(std::min(threads_, shards));
+      for (std::size_t s = 0; s < shards; ++s)
+        pool.submit([&run_shard, s] { run_shard(s); });
+      pool.wait_idle();
+    }
+    for (std::size_t s = 0; s < shards; ++s)
+      if (errors[s]) std::rethrow_exception(errors[s]);
+    std::vector<R> out;
+    out.reserve(shards);
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+  /// map() followed by an in-shard-order fold:
+  /// `merge(acc, result, shard)` is called for shard 0, 1, 2, ... — never
+  /// concurrently — so any merge operation (even order-sensitive ones like
+  /// gauge last-write-wins or trace concatenation) is deterministic.
+  template <class Acc, class Fn, class Merge>
+  [[nodiscard]] Acc reduce(std::size_t shards, Acc init, Fn&& body,
+                           Merge&& merge) {
+    auto results = map(shards, std::forward<Fn>(body));
+    for (std::size_t s = 0; s < results.size(); ++s)
+      merge(init, std::move(results[s]), s);
+    return init;
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t threads_;
+};
+
+}  // namespace ntco::fleet

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ntco/common/contracts.hpp"
+#include "ntco/fleet/replicator.hpp"
+
+/// \file sweep.hpp
+/// Parameter sweeps on the fleet — the replacement for the hand-rolled
+/// `for (param : points) for (rep : replicas)` outer loops of the bench
+/// binaries.
+///
+/// Every (point, replica) pair becomes one fleet shard; all pairs across
+/// all points run concurrently on one pool (so a sweep with a slow point
+/// keeps every worker busy instead of serialising point by point), and
+/// results come back grouped by point with replicas in replica order.
+///
+/// Seeding: pair (p, r) draws from Rng::stream(seed, p).stream(r) — the
+/// nested derivation guarded by rng_test — so a point's streams do not
+/// move when the replica count or the point list's tail changes.
+
+namespace ntco::fleet {
+
+/// Everything a sweep body receives about its (point, replica) shard.
+struct ReplicaContext {
+  std::size_t point = 0;          ///< index into the sweep's point vector
+  std::size_t replica = 0;        ///< replica index within the point
+  std::size_t replica_count = 1;  ///< replicas per point
+  Rng rng{0};
+};
+
+class Sweep {
+ public:
+  /// `threads == 0` means default_thread_count() (NTCO_THREADS override).
+  explicit Sweep(std::uint64_t seed, std::size_t threads = 0)
+      : seed_(seed), replicator_(seed, threads) {}
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::size_t threads() const { return replicator_.threads(); }
+
+  /// Runs `replicas` evaluations of `body(point_value, ReplicaContext&)`
+  /// per point. Returns results grouped by point (point order), replicas
+  /// in replica order within each group.
+  template <class P, class Fn>
+  [[nodiscard]] auto replicate(const std::vector<P>& points,
+                               std::size_t replicas, Fn&& body)
+      -> std::vector<std::vector<
+          std::decay_t<std::invoke_result_t<Fn&, const P&, ReplicaContext&>>>> {
+    using R = std::decay_t<std::invoke_result_t<Fn&, const P&, ReplicaContext&>>;
+    NTCO_EXPECTS(!points.empty());
+    NTCO_EXPECTS(replicas > 0);
+    auto flat =
+        replicator_.map(points.size() * replicas, [&](ShardContext& sc) {
+          const std::size_t p = sc.shard / replicas;
+          const std::size_t r = sc.shard % replicas;
+          ReplicaContext ctx{p, r, replicas, Rng::stream(seed_, p).stream(r)};
+          return body(points[p], ctx);
+        });
+    std::vector<std::vector<R>> grouped(points.size());
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      grouped[p].reserve(replicas);
+      for (std::size_t r = 0; r < replicas; ++r)
+        grouped[p].push_back(std::move(flat[p * replicas + r]));
+    }
+    return grouped;
+  }
+
+  /// Single evaluation per point; results in point order.
+  template <class P, class Fn>
+  [[nodiscard]] auto map(const std::vector<P>& points, Fn&& body)
+      -> std::vector<
+          std::decay_t<std::invoke_result_t<Fn&, const P&, ReplicaContext&>>> {
+    using R = std::decay_t<std::invoke_result_t<Fn&, const P&, ReplicaContext&>>;
+    auto grouped = replicate(points, 1, std::forward<Fn>(body));
+    std::vector<R> out;
+    out.reserve(points.size());
+    for (auto& g : grouped) out.push_back(std::move(g.front()));
+    return out;
+  }
+
+ private:
+  std::uint64_t seed_;
+  Replicator replicator_;
+};
+
+}  // namespace ntco::fleet

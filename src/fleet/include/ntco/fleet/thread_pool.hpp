@@ -1,0 +1,62 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool for the fleet engine.
+///
+/// This is the only place the framework runs more than one OS thread. The
+/// simulation kernel stays single-threaded and deterministic; the pool
+/// parallelises across *independent* simulator instances (replicas), never
+/// inside one. Determinism therefore never depends on scheduling: which
+/// thread runs which replica is irrelevant because replica results are
+/// written to per-shard slots and reduced in shard order (see
+/// replicator.hpp).
+
+namespace ntco::fleet {
+
+/// Worker count the fleet uses when none is given explicitly: the
+/// NTCO_THREADS environment variable when set to a positive integer,
+/// otherwise std::thread::hardware_concurrency() (minimum 1).
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Fixed-size pool executing submitted tasks on `threads` workers.
+///
+/// Tasks must not throw — callers that need error propagation capture
+/// exceptions inside the task (Replicator stores one std::exception_ptr
+/// per shard and rethrows in shard order). Destruction drains the queue:
+/// already-submitted tasks still run before the workers join.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task for execution on some worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;  // tasks currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ntco::fleet

@@ -1,0 +1,71 @@
+#include "ntco/fleet/thread_pool.hpp"
+
+#include <cstdlib>
+
+#include "ntco/common/contracts.hpp"
+
+namespace ntco::fleet {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("NTCO_THREADS");
+      env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v > 0)
+      return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  NTCO_EXPECTS(threads > 0);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  NTCO_EXPECTS(task != nullptr);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and the queue is drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace ntco::fleet

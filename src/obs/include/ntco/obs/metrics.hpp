@@ -68,6 +68,15 @@ class MetricsRegistry {
            histograms_.size();
   }
 
+  /// Reduces another registry into this one (fleet shard merging):
+  /// counters add, summaries merge (parallel Welford), histograms add
+  /// bin-wise (geometry must match — contract violation otherwise), and
+  /// gauges take `o`'s value (last write wins, so merging shards in shard
+  /// order reproduces the single-threaded sequence of writes). Merging a
+  /// fixed sequence of registries yields the same dump under any
+  /// left-to-right grouping.
+  void merge_from(const MetricsRegistry& o);
+
   /// CSV dump, header "metric,kind,field,value", rows sorted by
   /// (metric, kind, field). Counters/gauges emit one `value` row; summaries
   /// emit count/mean/min/max/stddev/sum; histograms emit total/underflow/

@@ -124,6 +124,14 @@ class JsonlTraceWriter final : public TraceSink {
 
   [[nodiscard]] const std::string& str() const { return out_; }
   [[nodiscard]] std::size_t record_count() const { return records_; }
+
+  /// Appends another writer's buffered records after this one's — how the
+  /// fleet stitches per-shard trace streams: concatenating in shard order
+  /// keeps the combined stream byte-identical at any worker count.
+  void append_from(const JsonlTraceWriter& o) {
+    out_ += o.out_;
+    records_ += o.records_;
+  }
   void clear() {
     out_.clear();
     records_ = 0;

@@ -58,6 +58,19 @@ const stats::Accumulator* MetricsRegistry::find_summary(
   return it == summaries_.end() ? nullptr : &it->second;
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& o) {
+  for (const auto& [name, c] : o.counters_) counters_[name].add(c.value());
+  for (const auto& [name, g] : o.gauges_) gauges_[name].set(g.value());
+  for (const auto& [name, a] : o.summaries_) summaries_[name].merge(a);
+  for (const auto& [name, h] : o.histograms_) {
+    auto& slot = histograms_[name];
+    if (slot == nullptr)
+      slot = std::make_unique<stats::Histogram>(*h);
+    else
+      slot->merge(*h);
+  }
+}
+
 const stats::Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
   const auto it = histograms_.find(name);

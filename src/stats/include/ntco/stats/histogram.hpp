@@ -37,6 +37,21 @@ class Histogram {
     }
   }
 
+  /// Merges a histogram with identical bin geometry (lo, hi, bin count);
+  /// anything else is a contract violation. Bin-wise addition commutes,
+  /// so fleet shard merges give the same result in any grouping.
+  void merge(const Histogram& o) {
+    NTCO_EXPECTS(o.lo_ == lo_ && o.hi_ == hi_ &&
+                 o.counts_.size() == counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+    underflow_ += o.underflow_;
+    overflow_ += o.overflow_;
+    total_ += o.total_;
+  }
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
   [[nodiscard]] std::uint64_t overflow() const { return overflow_; }

@@ -53,6 +53,15 @@ class PercentileSample {
     return s / static_cast<double>(data_.size());
   }
 
+  /// Merges another sample's observations (parallel-reduction counterpart
+  /// of Accumulator::merge, used by the fleet to combine per-shard
+  /// samples). Quantiles of the result are independent of merge order:
+  /// the pooled multiset is what gets sorted.
+  void merge(const PercentileSample& o) {
+    data_.insert(data_.end(), o.data_.begin(), o.data_.end());
+    sorted_ = false;
+  }
+
   void clear() {
     data_.clear();
     sorted_ = false;

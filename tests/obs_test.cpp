@@ -103,6 +103,79 @@ TEST(MetricsRegistry, CsvIsSortedAndComplete) {
   EXPECT_LT(m, z);
 }
 
+TEST(MetricsRegistry, MergeFromCombinesEveryKind) {
+  MetricsRegistry a, b;
+  a.counter("hits").add(3);
+  b.counter("hits").add(4);
+  b.counter("only_b").add(1);
+  a.gauge("depth").set(1.0);
+  b.gauge("depth").set(2.5);
+  a.summary("wait").add(1.0);
+  b.summary("wait").add(3.0);
+  a.histogram("lat", 0.0, 10.0, 5).add(1.0);
+  b.histogram("lat", 0.0, 10.0, 5).add(1.5);
+  b.histogram("lat", 0.0, 10.0, 5).add(42.0);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("hits").value(), 7u);
+  EXPECT_EQ(a.counter("only_b").value(), 1u);
+  EXPECT_DOUBLE_EQ(a.gauge("depth").value(), 2.5);  // last write wins
+  EXPECT_EQ(a.summary("wait").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.summary("wait").mean(), 2.0);
+  const auto* h = a.find_histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->total(), 3u);
+  EXPECT_EQ(h->bin(0), 2u);
+  EXPECT_EQ(h->overflow(), 1u);
+}
+
+TEST(MetricsRegistry, MergeFromRejectsHistogramGeometryMismatch) {
+  MetricsRegistry a, b;
+  a.histogram("lat", 0.0, 10.0, 5).add(1.0);
+  b.histogram("lat", 0.0, 20.0, 5).add(1.0);
+  EXPECT_THROW(a.merge_from(b), ContractViolation);
+}
+
+TEST(MetricsRegistry, MergedDumpIsGroupingIndependent) {
+  // Three per-shard registries reduced ((s0+s1)+s2) versus (s0+(s1+s2)):
+  // the CSV and JSON dumps must be byte-identical — the property the fleet
+  // relies on to make NTCO_THREADS invisible in merged artifacts.
+  const auto shard = [](std::uint64_t i) {
+    MetricsRegistry r;
+    r.counter("faas.invocations").add(10 + i);
+    r.gauge("pool.depth").set(static_cast<double>(i));
+    r.summary("exec_ms").add(static_cast<double>(1 + i));
+    r.summary("exec_ms").add(static_cast<double>(5 * (i + 1)));
+    r.histogram("lat_s", 0.0, 8.0, 4).add(static_cast<double>(i) * 2.5);
+    return r;
+  };
+
+  MetricsRegistry left;  // ((s0 + s1) + s2)
+  left.merge_from(shard(0));
+  left.merge_from(shard(1));
+  left.merge_from(shard(2));
+
+  MetricsRegistry mid;  // s0 + (s1 + s2)
+  mid.merge_from(shard(1));
+  mid.merge_from(shard(2));
+  MetricsRegistry right;
+  right.merge_from(shard(0));
+  right.merge_from(mid);
+
+  EXPECT_EQ(left.to_csv(), right.to_csv());
+  EXPECT_EQ(left.to_json(), right.to_json());
+}
+
+TEST(JsonlTraceWriter, AppendFromStitchesInCallOrder) {
+  JsonlTraceWriter s0, s1, all;
+  emit(&s0, TimePoint::at(Duration::micros(10)), "shard0.ev");
+  emit(&s1, TimePoint::at(Duration::micros(5)), "shard1.ev");
+  all.append_from(s0);
+  all.append_from(s1);
+  EXPECT_EQ(all.record_count(), 2u);
+  EXPECT_EQ(all.str(), s0.str() + s1.str());
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end: determinism and the disabled-by-default guarantee.
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <vector>
 
@@ -36,6 +37,56 @@ TEST(Rng, ForkDoesNotPerturbParent) {
   Rng a(9), b(9);
   (void)a.fork(5);
   EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamIsDeterministic) {
+  Rng a = Rng::stream(42, 7);
+  Rng b = Rng::stream(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  // Instance form agrees with the static form.
+  Rng c = Rng(42).stream(7);
+  Rng d = Rng::stream(42, 7);
+  EXPECT_EQ(c.next_u64(), d.next_u64());
+}
+
+TEST(Rng, StreamShardsArePairwiseDistinct) {
+  // 64 shards — the widest fleet a test machine plausibly runs — must
+  // produce pairwise-distinct draw sequences from one root seed.
+  constexpr std::size_t kShards = 64;
+  constexpr std::size_t kDraws = 16;
+  std::vector<std::array<std::uint64_t, kDraws>> draws(kShards);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    Rng r = Rng::stream(2026, s);
+    for (auto& d : draws[s]) d = r.next_u64();
+  }
+  for (std::size_t i = 0; i < kShards; ++i)
+    for (std::size_t j = i + 1; j < kShards; ++j)
+      EXPECT_NE(draws[i], draws[j]) << "shards " << i << " and " << j;
+}
+
+TEST(Rng, StreamOfStreamDoesNotCollideWithSiblings) {
+  // Regression guard for the fleet's seed derivation: fleet::Sweep hands
+  // (point p, replica r) the stream Rng::stream(seed, p).stream(r). None
+  // of those nested streams may collide with a sibling stream of the
+  // root, nor with another (point, replica) pair.
+  constexpr std::uint64_t kSeed = 99;
+  std::vector<std::uint64_t> first_draws;
+  for (std::uint64_t s = 0; s < 32; ++s)
+    first_draws.push_back(Rng::stream(kSeed, s).next_u64());
+  for (std::uint64_t p = 0; p < 8; ++p)
+    for (std::uint64_t r = 0; r < 8; ++r)
+      first_draws.push_back(Rng::stream(kSeed, p).stream(r).next_u64());
+  std::sort(first_draws.begin(), first_draws.end());
+  EXPECT_EQ(std::adjacent_find(first_draws.begin(), first_draws.end()),
+            first_draws.end())
+      << "two fleet streams share a first draw";
+}
+
+TEST(Rng, StreamDiffersFromFork) {
+  // stream() must not alias fork(): the fleet reserves stream-space for
+  // shards while modules keep deriving consumer substreams with fork().
+  Rng base(5);
+  EXPECT_NE(base.fork(3).next_u64(), base.stream(3).next_u64());
 }
 
 TEST(Rng, UniformRespectsBounds) {

@@ -104,6 +104,53 @@ TEST(PercentileSample, AddAfterQueryResorts) {
   EXPECT_DOUBLE_EQ(p.min(), 1.0);
 }
 
+TEST(PercentileSample, MergeEqualsPooled) {
+  PercentileSample lhs, rhs, pooled;
+  for (int i = 0; i < 101; ++i) {
+    const double x = std::cos(i) * 50.0;
+    (i % 3 ? lhs : rhs).add(x);
+    pooled.add(x);
+  }
+  lhs.merge(rhs);
+  EXPECT_EQ(lhs.count(), pooled.count());
+  EXPECT_DOUBLE_EQ(lhs.median(), pooled.median());
+  EXPECT_DOUBLE_EQ(lhs.p95(), pooled.p95());
+  EXPECT_DOUBLE_EQ(lhs.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(lhs.max(), pooled.max());
+}
+
+TEST(PercentileSample, MergeWithEmptyIsIdentity) {
+  PercentileSample a, empty;
+  a.add(3.0);
+  a.add(1.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.median(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.median(), 2.0);
+}
+
+TEST(PercentileSample, MergedQuantilesAreOrderIndependent) {
+  // Three shards merged in two different groupings must agree exactly:
+  // the pooled multiset, not the merge tree, determines every quantile.
+  PercentileSample s1, s2, s3;
+  for (int i = 0; i < 40; ++i) s1.add(std::sin(i) * 9.0);
+  for (int i = 0; i < 25; ++i) s2.add(std::sin(100 + i) * 3.0);
+  for (int i = 0; i < 33; ++i) s3.add(std::sin(200 + i) * 27.0);
+
+  PercentileSample left;  // (s1 + s2) + s3
+  left.merge(s1);
+  left.merge(s2);
+  left.merge(s3);
+  PercentileSample right;  // s3 + (s2 + s1)
+  right.merge(s3);
+  right.merge(s2);
+  right.merge(s1);
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(left.quantile(q), right.quantile(q)) << "q=" << q;
+}
+
 TEST(PercentileSample, ContractsOnEmptyAndBadQ) {
   PercentileSample p;
   EXPECT_THROW((void)p.median(), ContractViolation);
@@ -137,6 +184,61 @@ TEST(Histogram, CdfIsMonotone) {
     prev = c;
   }
   EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(Histogram, MergeAddsCountsBinwise) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(1.0);   // bin 0
+  a.add(-2.0);  // underflow
+  b.add(1.5);   // bin 0
+  b.add(9.0);   // bin 4
+  b.add(11.0);  // overflow
+  a.merge(b);
+  EXPECT_EQ(a.total(), 5u);
+  EXPECT_EQ(a.bin(0), 2u);
+  EXPECT_EQ(a.bin(4), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentityBothWays) {
+  Histogram a(0.0, 4.0, 4), empty(0.0, 4.0, 4);
+  a.add(1.0);
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.total(), 1u);
+  EXPECT_EQ(empty.bin(1), 1u);
+}
+
+TEST(Histogram, MergeIsGroupingIndependent) {
+  const auto fill = [](Histogram& h, int seed) {
+    for (int i = 0; i < 30; ++i)
+      h.add(static_cast<double>((seed * 37 + i * 13) % 120) / 10.0);
+  };
+  Histogram s1(0.0, 10.0, 8), s2(0.0, 10.0, 8), s3(0.0, 10.0, 8);
+  fill(s1, 1);
+  fill(s2, 2);
+  fill(s3, 3);
+  Histogram left(0.0, 10.0, 8), right(0.0, 10.0, 8);
+  left.merge(s1);
+  left.merge(s2);
+  left.merge(s3);
+  right.merge(s3);
+  right.merge(s1);
+  right.merge(s2);
+  for (std::size_t i = 0; i < left.bin_count(); ++i)
+    EXPECT_EQ(left.bin(i), right.bin(i));
+  EXPECT_EQ(left.overflow(), right.overflow());
+  EXPECT_EQ(left.total(), right.total());
+}
+
+TEST(Histogram, MergeRejectsMismatchedGeometry) {
+  Histogram a(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(Histogram(0.0, 10.0, 6)), ContractViolation);
+  EXPECT_THROW(a.merge(Histogram(0.0, 12.0, 5)), ContractViolation);
+  EXPECT_THROW(a.merge(Histogram(-1.0, 10.0, 5)), ContractViolation);
 }
 
 TEST(Histogram, RenderMentionsCounts) {

@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# The full CI gate, in dependency order:
+#
+#   1. configure + build everything (tests, benches, examples)
+#   2. run the unit/integration suite (ctest)
+#   3. prove the fleet determinism contract end-to-end: bench_f5_scale_users
+#      must emit byte-identical stdout and NTCO_BENCH_OUT artifacts with
+#      NTCO_THREADS=1 and NTCO_THREADS=8
+#   4. rebuild under ThreadSanitizer and rerun the fleet suites (the only
+#      concurrent code in the repo) — ctest -R '^Fleet'
+#   5. rebuild under ASan + UBSan and rerun the whole suite
+#
+#   tools/ci.sh [build-dir]             (default: build-ci)
+#
+# Steps 4 and 5 use their own build trees (NTCO_SANITIZE is a build-wide
+# flag; ASan and TSan cannot share one). Set NTCO_CI_SKIP_SANITIZERS=1 to
+# stop after step 3 on machines where two extra builds are too slow.
+set -eu
+
+BUILD_DIR="${1:-build-ci}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== [1/5] configure + build =="
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== [2/5] unit + integration tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== [3/5] fleet determinism: F5 artifacts at NTCO_THREADS=1 vs 8 =="
+DET_DIR="$BUILD_DIR/fleet-determinism"
+rm -rf "$DET_DIR"
+mkdir -p "$DET_DIR/t1" "$DET_DIR/t8"
+NTCO_THREADS=1 NTCO_BENCH_OUT="$DET_DIR/t1" \
+  "$BUILD_DIR/bench/bench_f5_scale_users" > "$DET_DIR/t1/stdout.txt"
+NTCO_THREADS=8 NTCO_BENCH_OUT="$DET_DIR/t8" \
+  "$BUILD_DIR/bench/bench_f5_scale_users" > "$DET_DIR/t8/stdout.txt"
+if ! diff -r "$DET_DIR/t1" "$DET_DIR/t8"; then
+  echo "FAIL: F5 output differs between NTCO_THREADS=1 and 8" >&2
+  exit 1
+fi
+echo "byte-identical across $(ls "$DET_DIR/t1" | wc -l) artifacts"
+
+if [ "${NTCO_CI_SKIP_SANITIZERS:-0}" = "1" ]; then
+  echo "== sanitizer stages skipped (NTCO_CI_SKIP_SANITIZERS=1) =="
+  exit 0
+fi
+
+echo "== [4/5] ThreadSanitizer: fleet suites =="
+cmake -B "$BUILD_DIR-tsan" -S "$SRC_DIR" \
+  -DNTCO_SANITIZE=thread \
+  -DNTCO_BUILD_BENCHMARKS=OFF -DNTCO_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR-tsan" --target fleet_test -j "$JOBS"
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure -R '^Fleet'
+
+echo "== [5/5] ASan + UBSan: full suite =="
+"$SRC_DIR/tools/sanitize.sh" address "$BUILD_DIR-asan"
+
+echo "== CI green =="

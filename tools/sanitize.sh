@@ -1,20 +1,26 @@
 #!/usr/bin/env sh
-# Configure, build, and run the test suite under ASan + UBSan.
+# Configure, build, and run the test suite under a sanitizer family.
 #
-#   tools/sanitize.sh [build-dir]       (default: build-asan)
+#   tools/sanitize.sh [address|thread] [build-dir]
 #
+# Default family is address (ASan + UBSan); `thread` builds with TSan
+# instead, which is what the fleet thread-pool tests want (the two families
+# cannot be combined in one build — see NTCO_SANITIZE in CMakeLists.txt).
 # Benches and examples are skipped: the sanitizer run exists to shake out
-# memory and UB errors in the library and its tests, not to time anything.
+# memory, UB, and data-race errors in the library and its tests, not to
+# time anything.
 set -eu
 
-BUILD_DIR="${1:-build-asan}"
+FAMILY="${1:-address}"
+BUILD_DIR="${2:-build-${FAMILY}san}"
 SRC_DIR="$(dirname "$0")/.."
 
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
-  -DNTCO_SANITIZE=ON \
+  -DNTCO_SANITIZE="$FAMILY" \
   -DNTCO_BUILD_BENCHMARKS=OFF \
   -DNTCO_BUILD_EXAMPLES=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)"
 UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$BUILD_DIR" --output-on-failure
