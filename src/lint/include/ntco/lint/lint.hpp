@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file lint.hpp
+/// `ntco-lint`: repo-specific determinism & layering static analysis.
+///
+/// The fleet engine promises byte-identical merged artifacts at any
+/// `NTCO_THREADS`. That contract is enforced dynamically by tools/ci.sh
+/// (artifact diffs), but a dynamic gate only covers the inputs CI happens to
+/// run. This analyzer makes the contract statically checkable on every
+/// source file:
+///
+///   R1  no nondeterminism sources (`std::random_device`, `rand`, wall
+///       clocks, `getenv`, raw `<random>` engines) outside a small
+///       sanctioned allowlist (rng.hpp, thread_pool.cpp, bench harness),
+///   R2  no *iteration* over `std::unordered_map` / `std::unordered_set`
+///       (range-for, or `.begin()` inside a `for` header) — declaration and
+///       point lookup stay legal; sorted extraction (copying the container
+///       out and sorting) stays legal,
+///   R3  no threading primitives outside `src/fleet/`,
+///   R4  module layering: every `#include <ntco/MOD/...>` edge must be a
+///       forward edge of the declared module DAG (reachability over direct
+///       deps); unknown modules and back-edges are rejected, and a cyclic
+///       *declared* DAG is itself an error,
+///   R5  no floating-point `+=` accumulation of values obtained from
+///       unordered containers (`m[k]`, `m.at(k)`), whose visitation order
+///       is not shard-ordered.
+///
+/// Diagnostics are `file:line: [Rn] message`. Inline suppression:
+///
+///   some_code();  // ntco-lint: allow(R2) reason why this is safe
+///
+/// The directive covers its own line and the next line, the reason is
+/// mandatory (a missing reason is itself a `[sup]` diagnostic and the
+/// suppression does not apply), and every honoured suppression is counted
+/// in the report. A checked-in baseline (tools/lint_baseline.txt) lets
+/// pre-existing debt fail closed only when it grows: baseline entries are
+/// line-number-free fingerprints, so unrelated edits do not churn it.
+///
+/// The analyzer is token/regex-plus-context, not a real C++ front end: it
+/// strips comments and string/char literals, then pattern-matches with
+/// identifier-boundary context. See DESIGN.md "Static analysis &
+/// determinism contract" for rule rationale and known heuristic gaps.
+
+namespace ntco::lint {
+
+/// Rule identifiers. `Sup` is the meta-rule for malformed suppressions.
+enum class Rule : std::uint8_t { R1, R2, R3, R4, R5, Sup };
+
+/// "R1".."R5", or "sup".
+[[nodiscard]] const char* rule_name(Rule r);
+
+struct Diagnostic {
+  std::string file;  ///< path relative to Config::root, '/'-separated
+  int line = 0;      ///< 1-based
+  Rule rule = Rule::R1;
+  std::string message;
+  /// Line-number-free identity `file|rule|detail`, used by the baseline so
+  /// unrelated edits (which shift line numbers) do not invalidate entries.
+  std::string fingerprint;
+};
+
+/// One honoured inline `ntco-lint: allow(...)` directive.
+struct Suppression {
+  std::string file;
+  int line = 0;
+  std::string rules;   ///< as written, e.g. "R2" or "R2,R5"
+  std::string reason;  ///< mandatory free text after the rule list
+};
+
+struct Config {
+  /// Directory all scan roots and reported paths are relative to.
+  std::string root = ".";
+  /// Directories or single files (relative to `root`) to scan.
+  std::vector<std::string> roots{"src", "bench", "tests", "examples"};
+  /// Relative-path prefixes to skip (the lint's own violation fixtures).
+  std::vector<std::string> exclude{"tests/lint_fixtures/"};
+  /// R1 sanctioned files/dirs (relative-path prefixes): the Rng engine
+  /// itself, the NTCO_THREADS env probe, and the bench harness (which
+  /// times itself with steady_clock and reads NTCO_BENCH_OUT).
+  std::vector<std::string> r1_allow{
+      "src/common/include/ntco/common/rng.hpp",
+      "src/fleet/src/thread_pool.cpp",
+      "bench/",
+  };
+  /// R3 sanctioned prefixes: the only concurrent code in the repo.
+  std::vector<std::string> r3_allow{"src/fleet/"};
+  /// R4 declared module DAG: module -> direct dependencies. An include
+  /// edge is legal iff its target is reachable from the includer.
+  /// Files under bench/, tests/, examples/, tools/ map to the pseudo
+  /// module "top", which may include everything.
+  std::map<std::string, std::vector<std::string>> dag;
+};
+
+/// Config with the repo's declared DAG and allowlists, rooted at `root`.
+[[nodiscard]] Config default_config(std::string root);
+
+struct Report {
+  std::vector<Diagnostic> diagnostics;  ///< unsuppressed findings
+  std::vector<Suppression> suppressions;
+  std::size_t files_scanned = 0;
+};
+
+/// Analyzes one file's `contents` as `rel_path` under `cfg`, appending to
+/// `out`. Exposed so the fixture tests can drive single files. Throws
+/// std::runtime_error if cfg.dag is cyclic.
+void analyze_source(const Config& cfg, const std::string& rel_path,
+                    const std::string& contents, Report& out);
+
+/// Walks cfg.roots under cfg.root (deterministic path order) and analyzes
+/// every C++ source file (.hpp/.cpp/.h/.cc/.hxx/.cxx).
+[[nodiscard]] Report run(const Config& cfg);
+
+/// Multiset of diagnostic fingerprints. Text format: one fingerprint per
+/// line; blank lines and '#' comments ignored; duplicate lines absorb that
+/// many matching diagnostics.
+class Baseline {
+ public:
+  [[nodiscard]] static Baseline from_string(const std::string& text);
+  [[nodiscard]] static Baseline from_file(const std::string& path);
+
+  /// Diagnostics not absorbed by the baseline. Each baseline entry absorbs
+  /// at most its multiplicity; anything beyond that is new debt.
+  [[nodiscard]] std::vector<Diagnostic> filter_new(
+      const std::vector<Diagnostic>& all) const;
+
+  /// Serializes diagnostics as baseline text (sorted, with multiplicity).
+  [[nodiscard]] static std::string to_text(const std::vector<Diagnostic>& all);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  std::map<std::string, int> counts_;
+};
+
+/// Machine-readable report: scanned/diagnostic/suppression counts, every
+/// diagnostic (with its baseline status), and every suppression.
+[[nodiscard]] std::string to_json(const Report& report,
+                                  const std::vector<Diagnostic>& fresh);
+
+}  // namespace ntco::lint

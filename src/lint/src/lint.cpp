@@ -1,0 +1,826 @@
+#include "ntco/lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ntco::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Small string helpers.
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with_any(const std::string& path,
+                     const std::vector<std::string>& prefixes) {
+  for (const auto& p : prefixes)
+    if (path.rfind(p, 0) == 0) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: strip comments and string/char literals.
+//
+// The token rules must not fire on prose ("std::thread is banned here") or
+// on pattern strings, so everything inside comments and literals is blanked
+// to spaces before matching. Line structure is preserved so diagnostics can
+// report 1-based line numbers. Handles //, /*...*/, "...", '...', and the
+// empty-delimiter raw string R"(...)" form; exotic raw-string delimiters
+// are rare enough in this tree (currently absent) to leave to R2's fixture
+// suite if they ever appear.
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+std::vector<std::string> strip_code(const std::vector<std::string>& raw) {
+  enum class St { Code, Block, Str, Chr, Raw };
+  St st = St::Code;
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  for (const std::string& line : raw) {
+    std::string s(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char n = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (st) {
+        case St::Code:
+          if (c == '/' && n == '/') {
+            i = line.size();  // rest of line is comment
+          } else if (c == '/' && n == '*') {
+            st = St::Block;
+            ++i;
+          } else if (c == 'R' && n == '"' && i + 2 < line.size() &&
+                     line[i + 2] == '(' &&
+                     (i == 0 || !is_ident(line[i - 1]))) {
+            st = St::Raw;
+            i += 2;
+          } else if (c == '"') {
+            st = St::Str;
+          } else if (c == '\'') {
+            st = St::Chr;
+          } else {
+            s[i] = c;
+          }
+          break;
+        case St::Block:
+          if (c == '*' && n == '/') {
+            st = St::Code;
+            ++i;
+          }
+          break;
+        case St::Str:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            st = St::Code;
+          }
+          break;
+        case St::Chr:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            st = St::Code;
+          }
+          break;
+        case St::Raw:
+          if (c == ')' && n == '"') {
+            st = St::Code;
+            ++i;
+          }
+          break;
+      }
+    }
+    // Unterminated " or ' at end of line: treat as closed (not valid C++
+    // anyway; keeps the stripper from eating the rest of the file).
+    if (st == St::Str || st == St::Chr) st = St::Code;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Token matching with identifier-boundary context.
+
+enum class Kind {
+  Call,    // identifier-bounded, must be followed by '(' — e.g. time(
+  Word,    // identifier-bounded on both sides — e.g. steady_clock
+  Prefix,  // identifier-bounded on the left only — e.g. std::atomic<...>
+};
+
+struct Token {
+  const char* text;
+  Kind kind;
+};
+
+// Leading boundary: not part of a longer identifier and not a member
+// access (`x.time(...)`, `p->time(...)`). A `::` qualifier is *not* a
+// boundary-breaker, so `std::getenv(` matches the `getenv` call token.
+bool left_ok(const std::string& s, std::size_t pos) {
+  if (pos == 0) return true;
+  const char b = s[pos - 1];
+  return !is_ident(b) && b != '.' && b != '>';
+}
+
+bool match_token(const std::string& s, const Token& t, std::size_t* at) {
+  const std::string pat(t.text);
+  std::size_t pos = 0;
+  while ((pos = s.find(pat, pos)) != std::string::npos) {
+    const std::size_t end = pos + pat.size();
+    const bool right_word = end < s.size() && is_ident(s[end]);
+    bool ok = left_ok(s, pos);
+    if (ok) {
+      switch (t.kind) {
+        case Kind::Word:
+          ok = !right_word;
+          break;
+        case Kind::Prefix:
+          break;
+        case Kind::Call: {
+          ok = !right_word;
+          if (ok) {
+            std::size_t j = end;
+            while (j < s.size() &&
+                   std::isspace(static_cast<unsigned char>(s[j])) != 0)
+              ++j;
+            ok = j < s.size() && s[j] == '(';
+          }
+          break;
+        }
+      }
+    }
+    if (ok) {
+      *at = pos;
+      return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+// R1: nondeterminism sources. Wall clocks, process environment, and raw
+// <random> machinery; everything stochastic must flow through ntco::Rng and
+// everything temporal through sim::Simulator::now().
+const Token kR1Tokens[] = {
+    {"random_device", Kind::Word},   {"rand", Kind::Call},
+    {"srand", Kind::Call},           {"time", Kind::Call},
+    {"clock", Kind::Call},           {"getenv", Kind::Call},
+    {"gettimeofday", Kind::Call},    {"localtime", Kind::Call},
+    {"gmtime", Kind::Call},          {"system_clock", Kind::Word},
+    {"steady_clock", Kind::Word},    {"high_resolution_clock", Kind::Word},
+    {"mt19937", Kind::Prefix},       {"minstd_rand", Kind::Prefix},
+    {"default_random_engine", Kind::Word},
+};
+
+// R3: threading primitives; the fleet layer owns all concurrency.
+const Token kR3Tokens[] = {
+    {"std::thread", Kind::Word},     {"std::jthread", Kind::Word},
+    {"std::mutex", Kind::Word},      {"std::shared_mutex", Kind::Word},
+    {"std::timed_mutex", Kind::Word},
+    {"std::recursive_mutex", Kind::Word},
+    {"std::condition_variable", Kind::Prefix},
+    {"std::atomic", Kind::Prefix},   {"std::lock_guard", Kind::Word},
+    {"std::unique_lock", Kind::Word},
+    {"std::scoped_lock", Kind::Word},
+    {"std::this_thread", Kind::Word},
+    {"std::async", Kind::Word},      {"std::future", Kind::Word},
+    {"std::promise", Kind::Word},    {"std::barrier", Kind::Word},
+    {"std::latch", Kind::Word},
+    {"std::counting_semaphore", Kind::Prefix},
+};
+
+// ---------------------------------------------------------------------------
+// R2/R5 support: names of variables declared with an unordered container
+// type anywhere in the file (declarations, members, parameters).
+
+std::set<std::string> unordered_vars(const std::vector<std::string>& code) {
+  std::set<std::string> vars;
+  // Join for decl scanning only; diagnostics never come from this pass.
+  std::string all;
+  for (const auto& l : code) {
+    all += l;
+    all += '\n';
+  }
+  const std::string pats[] = {"unordered_map", "unordered_set",
+                              "unordered_multimap", "unordered_multiset"};
+  for (const auto& pat : pats) {
+    std::size_t pos = 0;
+    while ((pos = all.find(pat, pos)) != std::string::npos) {
+      std::size_t i = pos + pat.size();
+      pos = i;
+      while (i < all.size() &&
+             std::isspace(static_cast<unsigned char>(all[i])) != 0)
+        ++i;
+      if (i >= all.size() || all[i] != '<') continue;  // include line etc.
+      int depth = 0;
+      for (; i < all.size(); ++i) {
+        if (all[i] == '<') ++depth;
+        if (all[i] == '>' && --depth == 0) break;
+      }
+      if (i >= all.size()) continue;
+      ++i;  // past '>'
+      // Skip refs/pointers/cv and whitespace before the declared name.
+      for (;;) {
+        while (i < all.size() &&
+               (std::isspace(static_cast<unsigned char>(all[i])) != 0 ||
+                all[i] == '&' || all[i] == '*'))
+          ++i;
+        if (all.compare(i, 5, "const") == 0 &&
+            (i + 5 >= all.size() || !is_ident(all[i + 5]))) {
+          i += 5;
+          continue;
+        }
+        break;
+      }
+      std::string name;
+      while (i < all.size() && is_ident(all[i])) name.push_back(all[i++]);
+      if (!name.empty() &&
+          std::isdigit(static_cast<unsigned char>(name[0])) == 0)
+        vars.insert(name);
+    }
+  }
+  return vars;
+}
+
+// The trailing identifier of a range-for's range expression: `m`,
+// `obj.members` -> "members", `(*p).idx_` -> "idx_".
+std::string trailing_ident(const std::string& expr) {
+  std::string e = trim(expr);
+  while (!e.empty() && (e.back() == ')' || e.back() == ' ')) e.pop_back();
+  std::size_t i = e.size();
+  while (i > 0 && is_ident(e[i - 1])) --i;
+  return e.substr(i);
+}
+
+// ---------------------------------------------------------------------------
+// R4: module layering.
+
+std::string module_of(const std::string& rel_path) {
+  if (rel_path.rfind("src/", 0) == 0) {
+    const std::size_t end = rel_path.find('/', 4);
+    if (end != std::string::npos) return rel_path.substr(4, end - 4);
+  }
+  return "top";  // bench/, tests/, examples/, tools/ sit above every module
+}
+
+// Reachability closure of the declared DAG; throws on a declared cycle.
+std::map<std::string, std::set<std::string>> dag_closure(
+    const std::map<std::string, std::vector<std::string>>& dag) {
+  std::map<std::string, std::set<std::string>> closure;
+  std::map<std::string, int> state;  // 0 new, 1 visiting, 2 done
+  struct Walk {
+    const std::map<std::string, std::vector<std::string>>& dag;
+    std::map<std::string, std::set<std::string>>& closure;
+    std::map<std::string, int>& state;
+    void operator()(const std::string& m) {
+      if (state[m] == 2) return;
+      if (state[m] == 1)
+        throw std::runtime_error("declared module DAG has a cycle through '" +
+                                 m + "'");
+      state[m] = 1;
+      auto it = dag.find(m);
+      if (it != dag.end()) {
+        for (const auto& dep : it->second) {
+          if (dag.find(dep) == dag.end())
+            throw std::runtime_error("declared DAG names unknown module '" +
+                                     dep + "' (dep of '" + m + "')");
+          (*this)(dep);
+          closure[m].insert(dep);
+          const auto& sub = closure[dep];
+          closure[m].insert(sub.begin(), sub.end());
+        }
+      }
+      state[m] = 2;
+    }
+  };
+  Walk walk{dag, closure, state};
+  for (const auto& [m, deps] : dag) walk(m);
+  return closure;
+}
+
+// ntco include target on a raw line, or "" — raw because the include path
+// is a string/angle literal and the stripper blanks both.
+std::string ntco_include(const std::string& raw) {
+  // Only a real preprocessor directive counts: '#' must be the first
+  // non-space character, so prose like `every #include <ntco/...> edge`
+  // in a doc comment does not register an edge.
+  std::size_t first = 0;
+  while (first < raw.size() &&
+         std::isspace(static_cast<unsigned char>(raw[first])) != 0)
+    ++first;
+  if (first >= raw.size() || raw[first] != '#') return "";
+  std::size_t pos = raw.find("#include", first);
+  if (pos != first) return "";
+  pos = raw.find("ntco/", pos);
+  if (pos == std::string::npos) return "";
+  const std::size_t end = raw.find('/', pos + 5);
+  if (end == std::string::npos) return "";
+  return raw.substr(pos + 5, end - pos - 5);
+}
+
+// ---------------------------------------------------------------------------
+// Suppression directives.
+
+struct Directive {
+  int line;            // 1-based line it sits on
+  std::set<Rule> rules;
+  std::string rules_text;
+  std::string reason;
+};
+
+Rule parse_rule(const std::string& r, bool* ok) {
+  *ok = true;
+  if (r == "R1") return Rule::R1;
+  if (r == "R2") return Rule::R2;
+  if (r == "R3") return Rule::R3;
+  if (r == "R4") return Rule::R4;
+  if (r == "R5") return Rule::R5;
+  *ok = false;
+  return Rule::Sup;
+}
+
+// The marker is assembled at runtime so this file's own sources (which the
+// lint scans) never contain the directive as a contiguous literal.
+const std::string& marker() {
+  static const std::string m = std::string("ntco-") + "lint:";
+  return m;
+}
+
+std::vector<Directive> find_directives(const std::vector<std::string>& raw,
+                                       const std::string& rel_path,
+                                       Report& out) {
+  std::vector<Directive> dirs;
+  for (std::size_t li = 0; li < raw.size(); ++li) {
+    const std::string& line = raw[li];
+    std::size_t pos = line.find(marker());
+    if (pos == std::string::npos) continue;
+    // Directives live in plain `//` comments; a marker inside a `///` doc
+    // comment is documentation (like the syntax example in lint.hpp), not
+    // an active suppression.
+    const std::size_t doc = line.find("///");
+    if (doc != std::string::npos && doc < pos) continue;
+    pos += marker().size();
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos])) != 0)
+      ++pos;
+    const std::string allow_kw = "allow(";
+    if (line.compare(pos, allow_kw.size(), allow_kw) != 0) continue;
+    pos += allow_kw.size();
+    const std::size_t close = line.find(')', pos);
+    if (close == std::string::npos) continue;
+    Directive d;
+    d.line = static_cast<int>(li + 1);
+    d.rules_text = line.substr(pos, close - pos);
+    std::stringstream ss(d.rules_text);
+    std::string item;
+    bool all_ok = !d.rules_text.empty();
+    while (std::getline(ss, item, ',')) {
+      bool ok = false;
+      const Rule r = parse_rule(trim(item), &ok);
+      if (ok)
+        d.rules.insert(r);
+      else
+        all_ok = false;
+    }
+    d.reason = trim(line.substr(close + 1));
+    if (!all_ok || d.rules.empty()) {
+      out.diagnostics.push_back(
+          {rel_path, d.line, Rule::Sup,
+           "malformed suppression: unknown rule list '" + d.rules_text + "'",
+           rel_path + "|sup|bad-rules"});
+      continue;
+    }
+    if (d.reason.empty()) {
+      // Fail closed: a reasonless allow() is a diagnostic, not a licence.
+      out.diagnostics.push_back(
+          {rel_path, d.line, Rule::Sup,
+           "suppression for (" + d.rules_text +
+               ") is missing its mandatory reason",
+           rel_path + "|sup|" + d.rules_text});
+      continue;
+    }
+    dirs.push_back(std::move(d));
+  }
+  return dirs;
+}
+
+// ---------------------------------------------------------------------------
+// File analysis.
+
+struct Finding {
+  int line;
+  Rule rule;
+  std::string message;
+  std::string detail;  // fingerprint tail
+};
+
+void analyze_impl(const Config& cfg,
+                  const std::map<std::string, std::set<std::string>>& closure,
+                  const std::string& rel_path, const std::string& contents,
+                  Report& out) {
+  const std::vector<std::string> raw = split_lines(contents);
+  const std::vector<std::string> code = strip_code(raw);
+  const std::set<std::string> uvars = unordered_vars(code);
+  const std::string mod = module_of(rel_path);
+
+  std::vector<Directive> dirs = find_directives(raw, rel_path, out);
+  std::vector<Finding> findings;
+
+  const bool r1_allowed = starts_with_any(rel_path, cfg.r1_allow);
+  const bool r3_allowed = starts_with_any(rel_path, cfg.r3_allow);
+
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    const std::string& s = code[li];
+    const int line = static_cast<int>(li + 1);
+    std::size_t at = 0;
+
+    if (!r1_allowed) {
+      for (const Token& t : kR1Tokens) {
+        if (match_token(s, t, &at)) {
+          findings.push_back({line, Rule::R1,
+                              std::string("nondeterminism source '") + t.text +
+                                  "' — route randomness through ntco::Rng "
+                                  "and time through sim::Simulator::now()",
+                              t.text});
+          break;  // one R1 per line is enough signal
+        }
+      }
+    }
+
+    if (!r3_allowed) {
+      for (const Token& t : kR3Tokens) {
+        if (match_token(s, t, &at)) {
+          findings.push_back({line, Rule::R3,
+                              std::string("threading primitive '") + t.text +
+                                  "' outside src/fleet/ — the fleet layer "
+                                  "owns all concurrency",
+                              t.text});
+          break;
+        }
+      }
+    }
+
+    // R2: range-for over an unordered container, or an unordered
+    // container's .begin()/.cbegin() inside a for-loop header. Sorted
+    // extraction (copy out + sort, outside a for header) stays legal.
+    if (!uvars.empty()) {
+      const std::size_t fpos = s.find("for");
+      const bool for_header =
+          fpos != std::string::npos && left_ok(s, fpos) &&
+          !(fpos + 3 < s.size() && is_ident(s[fpos + 3]));
+      if (for_header) {
+        const std::size_t open = s.find('(', fpos);
+        // The range-for separator is the first ':' that is not part of a
+        // '::' qualifier (e.g. `for (const std::string& k : keys)`).
+        std::size_t colon = std::string::npos;
+        for (std::size_t ci = fpos; ci < s.size(); ++ci) {
+          if (s[ci] != ':') continue;
+          if (ci + 1 < s.size() && s[ci + 1] == ':') {
+            ++ci;  // skip both chars of '::'
+            continue;
+          }
+          if (ci > 0 && s[ci - 1] == ':') continue;
+          colon = ci;
+          break;
+        }
+        bool flagged = false;
+        if (open != std::string::npos && colon != std::string::npos &&
+            colon > open) {
+          std::size_t close = s.find_first_of(")", colon);
+          const std::string expr = s.substr(
+              colon + 1, (close == std::string::npos ? s.size() : close) -
+                             colon - 1);
+          const std::string id = trailing_ident(expr);
+          if (uvars.count(id) != 0) {
+            findings.push_back(
+                {line, Rule::R2,
+                 "iteration over unordered container '" + id +
+                     "' — hash order is implementation-defined; extract "
+                     "and sort first",
+                 "range-for:" + id});
+            flagged = true;
+          }
+        }
+        if (!flagged) {
+          for (const auto& v : uvars) {
+            const std::string b1 = v + ".begin(";
+            const std::string b2 = v + ".cbegin(";
+            std::size_t bpos = s.find(b1, fpos);
+            if (bpos == std::string::npos) bpos = s.find(b2, fpos);
+            if (bpos != std::string::npos && left_ok(s, bpos)) {
+              findings.push_back(
+                  {line, Rule::R2,
+                   "iterator loop over unordered container '" + v +
+                       "' — hash order is implementation-defined",
+                   "iter-loop:" + v});
+              break;
+            }
+          }
+        }
+      }
+
+      // R5: `+=` whose right-hand side reads out of an unordered
+      // container; accumulation order then follows hash order.
+      const std::size_t plus = s.find("+=");
+      if (plus != std::string::npos) {
+        const std::string rhs = s.substr(plus + 2);
+        for (const auto& v : uvars) {
+          std::size_t vp = 0;
+          bool hit = false;
+          while ((vp = rhs.find(v, vp)) != std::string::npos) {
+            const std::size_t e = vp + v.size();
+            if (left_ok(rhs, vp) && e < rhs.size() &&
+                (rhs[e] == '[' || rhs.compare(e, 4, ".at(") == 0)) {
+              hit = true;
+              break;
+            }
+            vp = e;
+          }
+          if (hit) {
+            findings.push_back(
+                {line, Rule::R5,
+                 "accumulating '" + v +
+                     "' lookups with += — unordered visitation order makes "
+                     "float sums run-dependent; accumulate in shard order",
+                 v});
+            break;
+          }
+        }
+      }
+    }
+
+    // R4: every ntco include must follow the declared module DAG.
+    const std::string target = ntco_include(raw[li]);
+    if (!target.empty() && mod != "top" && target != mod) {
+      const auto mod_it = closure.find(mod);
+      const bool known_mod = cfg.dag.find(mod) != cfg.dag.end();
+      const bool known_target = cfg.dag.find(target) != cfg.dag.end();
+      if (!known_mod || !known_target) {
+        findings.push_back({line, Rule::R4,
+                            "include edge " + mod + " -> " + target +
+                                " involves a module absent from the declared "
+                                "DAG — declare it in the layering config",
+                            "unknown:" + mod + "->" + target});
+      } else if (mod_it == closure.end() ||
+                 mod_it->second.count(target) == 0) {
+        findings.push_back({line, Rule::R4,
+                            "layering violation: " + mod + " -> " + target +
+                                " is a back-edge of the declared module DAG",
+                            "edge:" + mod + "->" + target});
+      }
+    }
+  }
+
+  // Apply suppressions: a directive covers its own line and the next one.
+  for (const Finding& f : findings) {
+    const Directive* hit = nullptr;
+    for (const Directive& d : dirs) {
+      if ((f.line == d.line || f.line == d.line + 1) &&
+          d.rules.count(f.rule) != 0) {
+        hit = &d;
+        break;
+      }
+    }
+    if (hit != nullptr) continue;
+    out.diagnostics.push_back({rel_path, f.line, f.rule, f.message,
+                               rel_path + "|" + rule_name(f.rule) + "|" +
+                                   f.detail});
+  }
+  for (const Directive& d : dirs)
+    out.suppressions.push_back({rel_path, d.line, d.rules_text, d.reason});
+}
+
+std::string json_escape(const std::string& s) {
+  std::string o;
+  o.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': o += "\\\""; break;
+      case '\\': o += "\\\\"; break;
+      case '\n': o += "\\n"; break;
+      case '\t': o += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          o += buf;
+        } else {
+          o += c;
+        }
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+const char* rule_name(Rule r) {
+  switch (r) {
+    case Rule::R1: return "R1";
+    case Rule::R2: return "R2";
+    case Rule::R3: return "R3";
+    case Rule::R4: return "R4";
+    case Rule::R5: return "R5";
+    case Rule::Sup: break;
+  }
+  return "sup";
+}
+
+Config default_config(std::string root) {
+  Config cfg;
+  cfg.root = std::move(root);
+  // Declared layering, bottom-up (see DESIGN.md "Static analysis &
+  // determinism contract"): an include is legal iff its target is
+  // reachable from the includer through these direct edges.
+  cfg.dag = {
+      {"common", {}},
+      {"stats", {"common"}},
+      {"fleet", {"common"}},
+      {"device", {"common"}},
+      {"app", {"common"}},
+      {"lint", {}},
+      {"obs", {"stats"}},
+      {"sim", {"obs"}},
+      {"net", {"obs"}},
+      {"serverless", {"sim"}},
+      {"edgesim", {"sim"}},
+      {"profile", {"app", "stats"}},
+      {"partition", {"app", "device"}},
+      {"sched", {"serverless", "net", "device", "stats"}},
+      {"alloc", {"serverless"}},
+      {"core", {"alloc", "partition", "net", "app", "device"}},
+      {"cicd", {"core", "profile"}},
+  };
+  return cfg;
+}
+
+void analyze_source(const Config& cfg, const std::string& rel_path,
+                    const std::string& contents, Report& out) {
+  const auto closure = dag_closure(cfg.dag);
+  analyze_impl(cfg, closure, rel_path, contents, out);
+  ++out.files_scanned;
+}
+
+Report run(const Config& cfg) {
+  const auto closure = dag_closure(cfg.dag);
+  Report rep;
+
+  const std::set<std::string> exts{".hpp", ".cpp", ".h",
+                                   ".cc",  ".hxx", ".cxx"};
+  std::vector<fs::path> files;
+  for (const auto& r : cfg.roots) {
+    const fs::path base = fs::path(cfg.root) / r;
+    if (fs::is_regular_file(base)) {
+      files.push_back(base);
+    } else if (fs::is_directory(base)) {
+      for (const auto& e : fs::recursive_directory_iterator(base))
+        if (e.is_regular_file() &&
+            exts.count(e.path().extension().string()) != 0)
+          files.push_back(e.path());
+    }
+  }
+  std::sort(files.begin(), files.end());  // deterministic diagnostic order
+
+  for (const fs::path& p : files) {
+    std::string rel = fs::relative(p, cfg.root).generic_string();
+    if (starts_with_any(rel, cfg.exclude)) continue;
+    std::ifstream in(p, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    analyze_impl(cfg, closure, rel, ss.str(), rep);
+    ++rep.files_scanned;
+  }
+  return rep;
+}
+
+Baseline Baseline::from_string(const std::string& text) {
+  Baseline b;
+  for (const std::string& line : split_lines(text)) {
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    ++b.counts_[t];
+  }
+  return b;
+}
+
+Baseline Baseline::from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read baseline file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return from_string(ss.str());
+}
+
+std::vector<Diagnostic> Baseline::filter_new(
+    const std::vector<Diagnostic>& all) const {
+  std::map<std::string, int> budget = counts_;
+  std::vector<Diagnostic> fresh;
+  for (const Diagnostic& d : all) {
+    auto it = budget.find(d.fingerprint);
+    if (it != budget.end() && it->second > 0)
+      --it->second;  // absorbed by pre-existing debt
+    else
+      fresh.push_back(d);
+  }
+  return fresh;
+}
+
+std::string Baseline::to_text(const std::vector<Diagnostic>& all) {
+  std::vector<std::string> fps;
+  fps.reserve(all.size());
+  for (const Diagnostic& d : all) fps.push_back(d.fingerprint);
+  std::sort(fps.begin(), fps.end());
+  std::string out =
+      "# ntco-lint baseline: one fingerprint (file|rule|detail) per line.\n"
+      "# Entries absorb matching pre-existing diagnostics; new debt fails.\n"
+      "# Regenerate with: ntco-lint --write-baseline <this file>\n";
+  for (const auto& f : fps) {
+    out += f;
+    out += '\n';
+  }
+  return out;
+}
+
+std::size_t Baseline::size() const {
+  std::size_t n = 0;
+  for (const auto& [fp, c] : counts_) n += static_cast<std::size_t>(c);
+  return n;
+}
+
+std::string to_json(const Report& report, const std::vector<Diagnostic>& fresh) {
+  std::set<const Diagnostic*> fresh_set;
+  // Identify freshness positionally by fingerprint multiset membership.
+  std::map<std::string, int> fresh_counts;
+  for (const Diagnostic& d : fresh) ++fresh_counts[d.fingerprint];
+
+  std::ostringstream o;
+  o << "{\n";
+  o << "  \"files_scanned\": " << report.files_scanned << ",\n";
+  o << "  \"diagnostics_total\": " << report.diagnostics.size() << ",\n";
+  o << "  \"diagnostics_new\": " << fresh.size() << ",\n";
+  o << "  \"diagnostics_baselined\": "
+    << report.diagnostics.size() - fresh.size() << ",\n";
+  o << "  \"suppressions\": " << report.suppressions.size() << ",\n";
+  o << "  \"diagnostics\": [";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    bool is_new = false;
+    auto it = fresh_counts.find(d.fingerprint);
+    if (it != fresh_counts.end() && it->second > 0) {
+      --it->second;
+      is_new = true;
+    }
+    o << (i == 0 ? "\n" : ",\n");
+    o << "    {\"file\": \"" << json_escape(d.file) << "\", \"line\": "
+      << d.line << ", \"rule\": \"" << rule_name(d.rule)
+      << "\", \"new\": " << (is_new ? "true" : "false")
+      << ", \"fingerprint\": \"" << json_escape(d.fingerprint)
+      << "\", \"message\": \"" << json_escape(d.message) << "\"}";
+  }
+  o << (report.diagnostics.empty() ? "],\n" : "\n  ],\n");
+  o << "  \"suppression_list\": [";
+  for (std::size_t i = 0; i < report.suppressions.size(); ++i) {
+    const Suppression& s = report.suppressions[i];
+    o << (i == 0 ? "\n" : ",\n");
+    o << "    {\"file\": \"" << json_escape(s.file) << "\", \"line\": "
+      << s.line << ", \"rules\": \"" << json_escape(s.rules)
+      << "\", \"reason\": \"" << json_escape(s.reason) << "\"}";
+  }
+  o << (report.suppressions.empty() ? "]\n" : "\n  ]\n");
+  o << "}\n";
+  return o.str();
+}
+
+}  // namespace ntco::lint

@@ -4,7 +4,6 @@
 #include <deque>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "ntco/common/contracts.hpp"

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <type_traits>
 #include <unordered_set>
 #include <vector>
 
@@ -80,6 +82,17 @@ class Simulator : public obs::TraceClock {
   /// Number of events still pending (excludes cancelled ones).
   [[nodiscard]] std::size_t pending() const { return pending_ids_.size(); }
 
+  /// Ids of all pending events, in ascending (i.e. scheduling) order.
+  /// pending_ids_ is an unordered set, so any ordered output derived from
+  /// it must be produced by sorted extraction — copy out, then sort —
+  /// never by iterating it into a result directly (hash order is
+  /// implementation-defined; see the membership-only contract below).
+  [[nodiscard]] std::vector<EventId> pending_event_ids() const {
+    std::vector<EventId> ids(pending_ids_.begin(), pending_ids_.end());
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
   /// Fires the earliest pending event. Returns false if none remain.
   bool step() {
     while (!queue_.empty()) {
@@ -156,6 +169,19 @@ class Simulator : public obs::TraceClock {
   TimePoint now_;
   EventId next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Contract: cancelled_ and pending_ids_ are MEMBERSHIP-ONLY sets —
+  // insert/erase/count, never iterated. Unordered iteration order is
+  // implementation-defined and would leak nondeterminism into anything
+  // derived from it (the exact hazard ntco-lint rule R2 rejects
+  // tree-wide). Any ordered view must go through sorted extraction; the
+  // only such view is pending_event_ids() above. The static_assert pins
+  // EventId to an unsigned integer so that sorted extraction stays total,
+  // cheap, and stable (no NaN-like incomparable values, no overflow UB in
+  // the comparison).
+  static_assert(std::is_unsigned_v<EventId>,
+                "EventId must be an unsigned integer: pending_event_ids() "
+                "sorts extracted ids, and the (time, seq) event ordering "
+                "relies on well-defined unsigned comparison");
   std::unordered_set<EventId> cancelled_;
   std::unordered_set<EventId> pending_ids_;
   obs::TraceSink* trace_ = nullptr;

@@ -24,6 +24,7 @@ namespace {
 // ThreadPool.
 
 TEST(FleetThreadPool, RunsEverySubmittedTask) {
+  // ntco-lint: allow(R3) exercising the fleet ThreadPool requires an atomic observed from pool workers
   std::atomic<int> ran{0};
   ThreadPool pool(4);
   EXPECT_EQ(pool.size(), 4u);
@@ -34,9 +35,11 @@ TEST(FleetThreadPool, RunsEverySubmittedTask) {
 }
 
 TEST(FleetThreadPool, WaitIdleWaitsForRunningTasks) {
+  // ntco-lint: allow(R3) cross-thread completion flag for the pool under test
   std::atomic<bool> done{false};
   ThreadPool pool(2);
   pool.submit([&done] {
+    // ntco-lint: allow(R3) deliberate in-task delay so wait_idle() has something to wait for
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     done.store(true);
   });
@@ -45,6 +48,7 @@ TEST(FleetThreadPool, WaitIdleWaitsForRunningTasks) {
 }
 
 TEST(FleetThreadPool, DrainsQueueOnDestruction) {
+  // ntco-lint: allow(R3) counts task executions across pool workers during teardown
   std::atomic<int> ran{0};
   {
     ThreadPool pool(1);

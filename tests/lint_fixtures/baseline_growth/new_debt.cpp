@@ -1,0 +1,9 @@
+// Fixture: NEW debt added after the baseline was written — a second
+// nondeterminism source the baseline does not absorb, so the lint must
+// fail even though old_debt.cpp still passes.
+#include <random>
+
+unsigned fresh_entropy() {
+  std::random_device rd;  // R1, not in the baseline
+  return rd();
+}

@@ -1,0 +1,8 @@
+// Fixture: pre-existing debt covered by a baseline entry. The baseline
+// fingerprint is line-number-free, so editing elsewhere in this file must
+// not invalidate it.
+#include <cstdlib>
+
+int legacy_jitter() {
+  return std::rand();  // R1, absorbed by the baseline
+}

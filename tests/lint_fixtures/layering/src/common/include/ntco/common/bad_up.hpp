@@ -1,0 +1,11 @@
+#pragma once
+
+// Fixture: R4 back-edge from the bottom layer — common may depend on
+// nothing, so an include of stats is a layering violation, and an include
+// of a module absent from the declared DAG is its own R4 diagnostic.
+#include "ntco/stats/histogram.hpp"
+#include "ntco/mystery/widget.hpp"
+
+namespace ntco::common {
+inline int uses_stats() { return 1; }
+}  // namespace ntco::common

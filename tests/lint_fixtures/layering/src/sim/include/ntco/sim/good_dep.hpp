@@ -1,0 +1,12 @@
+#pragma once
+
+// Fixture: R4 clean variant — sim declares a direct dep on obs, and common
+// is reachable through obs -> stats -> common, so both includes are
+// forward edges. Same-module includes are always legal.
+#include "ntco/common/units.hpp"
+#include "ntco/obs/trace.hpp"
+#include "ntco/sim/server_pool.hpp"
+
+namespace ntco::sim {
+inline int layered_fine() { return 1; }
+}  // namespace ntco::sim

@@ -1,0 +1,9 @@
+#pragma once
+
+// Fixture: R4 back-edge — stats is a leaf-adjacent layer and must never
+// reach up into core (core depends on stats transitively via obs).
+#include "ntco/core/controller.hpp"
+
+namespace ntco::stats {
+inline int uses_controller() { return 1; }
+}  // namespace ntco::stats

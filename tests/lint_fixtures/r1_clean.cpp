@@ -1,0 +1,26 @@
+// Fixture: R1 clean variant — the same job done the sanctioned way: time
+// from the simulator clock, randomness from ntco::Rng, and names that only
+// *look* like banned tokens (exec_time(), a runtime_ suffix) to prove the
+// identifier-boundary matching does not over-fire. Comments may legally
+// mention std::random_device and steady_clock without tripping the rule.
+#include <cstdint>
+
+struct FakeRng {
+  std::uint64_t state = 1;
+  double uniform(double lo, double hi) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lo + (hi - lo) * static_cast<double>(state >> 11) * 0x1.0p-53;
+  }
+};
+
+struct FakeClock {
+  double now_s = 0.0;
+  double now() const { return now_s; }
+};
+
+double exec_time(double work) { return work * 2.0; }
+
+double jittered_latency(FakeRng& rng, const FakeClock& sim, double base) {
+  const double runtime_ = exec_time(base);
+  return base + rng.uniform(0.0, 1.0) + sim.now() + runtime_;
+}

@@ -1,0 +1,18 @@
+// Fixture: R1 violations — wall clocks, process env, and ad-hoc RNG in a
+// result path. Each banned construct sits on its own line so the test can
+// assert exact line numbers. NOT compiled; scanned by lint_test only.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+double jittered_latency(double base) {
+  std::random_device entropy;                              // line 9: R1
+  const auto wall = std::chrono::system_clock::now();      // line 10: R1
+  const auto tick = std::chrono::steady_clock::now();      // line 11: R1
+  const char* override_ms = std::getenv("FAKE_LATENCY");   // line 12: R1
+  const int noise = std::rand();                           // line 13: R1
+  (void)wall;
+  (void)tick;
+  (void)override_ms;
+  return base + static_cast<double>(entropy() + static_cast<unsigned>(noise));
+}

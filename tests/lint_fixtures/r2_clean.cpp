@@ -1,0 +1,29 @@
+// Fixture: R2 clean variant — declaration, point lookup, and *sorted
+// extraction* of an unordered container are all legal; only iteration in
+// hash order is banned. Also proves range-for over an ordered vector does
+// not trip the rule.
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+bool seen_before(std::unordered_set<int>& seen, int id) {
+  if (seen.count(id) != 0) return true;
+  seen.insert(id);
+  return false;
+}
+
+// Sorted extraction: copy out (begin() outside a for header), then sort.
+std::vector<int> ordered_ids(const std::unordered_set<int>& seen) {
+  std::vector<int> ids(seen.begin(), seen.end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+double total(const std::unordered_map<int, double>& by_id,
+             const std::vector<int>& order) {
+  double sum = 0.0;
+  for (const int id : order) sum += 1.0;  // ordered source: fine
+  (void)by_id;
+  return sum;
+}

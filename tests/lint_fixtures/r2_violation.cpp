@@ -1,0 +1,25 @@
+// Fixture: R2 violations — iterating an unordered container lets hash
+// order leak into results. Covers range-for (with a structured binding and
+// a qualified loop-variable type) and an explicit iterator for-loop.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double total_latency(const std::unordered_map<std::string, double>& by_user) {
+  double sum = 0.0;
+  for (const auto& [user, lat] : by_user) sum += lat;  // line 10: R2
+  return sum;
+}
+
+int count_even(const std::unordered_set<int>& seen) {
+  int n = 0;
+  for (const int& v : seen) n += v % 2 == 0 ? 1 : 0;  // line 16: R2
+  return n;
+}
+
+double sum_iter(const std::unordered_map<int, double>& weights) {
+  double sum = 0.0;
+  for (auto it = weights.begin(); it != weights.end(); ++it)  // line 22: R2
+    sum += it->second;
+  return sum;
+}

@@ -1,0 +1,14 @@
+// Fixture: R3 clean variant — single-threaded code whose identifiers
+// merely resemble threading vocabulary (a member named thread_count, a
+// type named Mutex in prose) must not trip the token matcher.
+#include <cstddef>
+
+struct PoolConfig {
+  // Comments may mention std::thread and std::mutex freely.
+  std::size_t thread_count = 4;
+  bool atomic_commits = true;  // "atomic" as a plain word, not std::atomic
+};
+
+std::size_t plan_shards(const PoolConfig& cfg, std::size_t shards) {
+  return shards / (cfg.thread_count == 0 ? 1 : cfg.thread_count);
+}

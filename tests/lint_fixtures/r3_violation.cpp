@@ -1,0 +1,17 @@
+// Fixture: R3 violations — threading primitives outside src/fleet/. The
+// fleet layer owns all concurrency; ad-hoc threads elsewhere would race
+// the deterministic shard-ordered reduction.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+int racy_counter() {
+  std::atomic<int> hits{0};                       // line 9: R3
+  std::mutex mu;                                  // line 10: R3
+  std::thread worker([&] { hits.fetch_add(1); }); // line 11: R3
+  {
+    std::lock_guard<std::mutex> lock(mu);         // line 13: R3
+  }
+  worker.join();
+  return hits.load();
+}

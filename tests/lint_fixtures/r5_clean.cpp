@@ -1,0 +1,13 @@
+// Fixture: R5 clean variant — accumulating from ordered sources (a vector
+// subscript, a plain variable) and non-accumulating unordered reads
+// (assignment, comparison) are all legal.
+#include <unordered_map>
+#include <vector>
+
+double weighted(const std::vector<double>& weights,
+                const std::unordered_map<int, double>& lookup) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) acc += weights[i];
+  const double first = lookup.at(0);  // read without accumulation: fine
+  return acc + first;
+}

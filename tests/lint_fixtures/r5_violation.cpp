@@ -1,0 +1,15 @@
+// Fixture: R5 violations — `+=` accumulation of values read out of an
+// unordered container. Even when the *loop* runs in a deterministic order,
+// the rule fails closed on unordered-container reads feeding a float sum
+// (operator[] and .at() forms both flagged).
+#include <unordered_map>
+#include <vector>
+
+double weighted(const std::vector<int>& keys,
+                std::unordered_map<int, double>& weights) {
+  double acc = 0.0;
+  for (const int k : keys) acc += weights[k];     // line 11: R5
+  double bias = 0.0;
+  bias += weights.at(0);                          // line 13: R5
+  return acc + bias;
+}

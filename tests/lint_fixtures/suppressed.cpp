@@ -1,0 +1,13 @@
+// Fixture: valid inline suppressions. Both placements are honoured — on
+// the violating line itself, and on the line directly above it — and each
+// carries the mandatory reason, so the report records two suppressions and
+// zero diagnostics.
+#include <unordered_set>
+
+int census(const std::unordered_set<int>& members) {
+  int n = 0;
+  for (const int m : members) n += 1;  // ntco-lint: allow(R2) membership census is order-insensitive
+  // ntco-lint: allow(R2) second census, same order-insensitive argument
+  for (const int m2 : members) n += 1;
+  return n;
+}

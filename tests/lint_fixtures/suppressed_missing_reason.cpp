@@ -1,0 +1,10 @@
+// Fixture: a suppression without its mandatory reason fails closed — the
+// directive itself becomes a [sup] diagnostic AND the R2 it tried to cover
+// still fires.
+#include <unordered_set>
+
+int census(const std::unordered_set<int>& members) {
+  int n = 0;
+  for (const int m : members) n += 1;  // ntco-lint: allow(R2)
+  return n;
+}

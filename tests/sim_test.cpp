@@ -81,6 +81,23 @@ TEST(Simulator, PendingExcludesCancelled) {
   EXPECT_EQ(sim.pending(), 1u);
 }
 
+TEST(Simulator, PendingEventIdsAreSortedAndExcludeCancelledAndFired) {
+  // pending_ids_ is a membership-only unordered set; the ordered view must
+  // come out sorted (ascending EventId == scheduling order) regardless of
+  // hash order, with cancelled and already-fired events absent.
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i)
+    ids.push_back(
+        sim.schedule_after(Duration::millis(8 - i), [] {}));  // reverse time
+  sim.cancel(ids[3]);
+  EXPECT_TRUE(sim.step());  // fires ids[7], the earliest
+  const auto pending = sim.pending_event_ids();
+  const std::vector<EventId> expect{ids[0], ids[1], ids[2],
+                                    ids[4], ids[5], ids[6]};
+  EXPECT_EQ(pending, expect);
+}
+
 TEST(Simulator, RunUntilAdvancesClockToHorizon) {
   Simulator sim;
   int fired = 0;

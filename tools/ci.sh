@@ -1,34 +1,52 @@
 #!/usr/bin/env sh
 # The full CI gate, in dependency order:
 #
-#   1. configure + build everything (tests, benches, examples)
-#   2. run the unit/integration suite (ctest)
-#   3. prove the fleet determinism contract end-to-end: bench_f5_scale_users
+#   1. configure (warnings are errors: NTCO_WERROR=ON) and build just the
+#      ntco-lint target — seconds, not minutes
+#   2. run ntco-lint, the static determinism & layering gate (rules R1-R5,
+#      see DESIGN.md "Static analysis & determinism contract"): any
+#      diagnostic not absorbed by tools/lint_baseline.txt fails here,
+#      before the expensive builds; the JSON report lands in the build dir
+#   3. build everything else (tests, benches, examples)
+#   4. run the unit/integration suite (ctest; includes LintClean again so
+#      a local `ctest` run gets the same gate)
+#   5. prove the fleet determinism contract end-to-end: bench_f5_scale_users
 #      must emit byte-identical stdout and NTCO_BENCH_OUT artifacts with
 #      NTCO_THREADS=1 and NTCO_THREADS=8
-#   4. rebuild under ThreadSanitizer and rerun the fleet suites (the only
+#   6. rebuild under ThreadSanitizer and rerun the fleet suites (the only
 #      concurrent code in the repo) — ctest -R '^Fleet'
-#   5. rebuild under ASan + UBSan and rerun the whole suite
+#   7. rebuild under ASan + UBSan and rerun the whole suite
 #
 #   tools/ci.sh [build-dir]             (default: build-ci)
 #
-# Steps 4 and 5 use their own build trees (NTCO_SANITIZE is a build-wide
+# Steps 6 and 7 use their own build trees (NTCO_SANITIZE is a build-wide
 # flag; ASan and TSan cannot share one). Set NTCO_CI_SKIP_SANITIZERS=1 to
-# stop after step 3 on machines where two extra builds are too slow.
+# stop after step 5 on machines where two extra builds are too slow.
 set -eu
 
 BUILD_DIR="${1:-build-ci}"
 SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/5] configure + build =="
-cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+echo "== [1/7] configure (NTCO_WERROR=ON) + build ntco-lint =="
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
+  -DNTCO_WERROR=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" --target ntco-lint -j "$JOBS"
+
+echo "== [2/7] ntco-lint: static determinism & layering gate =="
+"$BUILD_DIR/tools/ntco-lint" \
+  --root "$SRC_DIR" \
+  --baseline "$SRC_DIR/tools/lint_baseline.txt" \
+  --json-out "$BUILD_DIR/ntco-lint-report.json"
+
+echo "== [3/7] build everything =="
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "== [2/5] unit + integration tests =="
+echo "== [4/7] unit + integration tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== [3/5] fleet determinism: F5 artifacts at NTCO_THREADS=1 vs 8 =="
+echo "== [5/7] fleet determinism: F5 artifacts at NTCO_THREADS=1 vs 8 =="
 DET_DIR="$BUILD_DIR/fleet-determinism"
 rm -rf "$DET_DIR"
 mkdir -p "$DET_DIR/t1" "$DET_DIR/t8"
@@ -47,7 +65,7 @@ if [ "${NTCO_CI_SKIP_SANITIZERS:-0}" = "1" ]; then
   exit 0
 fi
 
-echo "== [4/5] ThreadSanitizer: fleet suites =="
+echo "== [6/7] ThreadSanitizer: fleet suites =="
 cmake -B "$BUILD_DIR-tsan" -S "$SRC_DIR" \
   -DNTCO_SANITIZE=thread \
   -DNTCO_BUILD_BENCHMARKS=OFF -DNTCO_BUILD_EXAMPLES=OFF \
@@ -56,7 +74,7 @@ cmake --build "$BUILD_DIR-tsan" --target fleet_test -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure -R '^Fleet'
 
-echo "== [5/5] ASan + UBSan: full suite =="
+echo "== [7/7] ASan + UBSan: full suite =="
 "$SRC_DIR/tools/sanitize.sh" address "$BUILD_DIR-asan"
 
 echo "== CI green =="

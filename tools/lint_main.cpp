@@ -1,0 +1,129 @@
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ntco/lint/lint.hpp"
+
+/// \file lint_main.cpp
+/// `ntco-lint` CLI — the static counterpart to the dynamic determinism
+/// gates in tools/ci.sh (artifact diffing) and tools/sanitize.sh
+/// (ASan/TSan). See DESIGN.md "Static analysis & determinism contract".
+///
+///   ntco-lint [--root DIR] [--baseline FILE] [--json-out FILE]
+///             [--write-baseline FILE] [paths...]
+///
+/// Scans src/ bench/ tests/ examples/ under --root (or the given relative
+/// paths instead), prints `file:line: [Rn] message` for every diagnostic
+/// not absorbed by the baseline, and exits non-zero if any remain.
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--root DIR] [--baseline FILE] [--json-out FILE]\n"
+         "       [--write-baseline FILE] [paths...]\n"
+         "\n"
+         "Determinism & layering lint for the ntco tree. Rules:\n"
+         "  R1  nondeterminism sources outside sanctioned files\n"
+         "  R2  iteration over unordered containers\n"
+         "  R3  threading primitives outside src/fleet/\n"
+         "  R4  module-layering back-edges (declared DAG over ntco includes)\n"
+         "  R5  += accumulation of unordered-container lookups\n"
+         "\n"
+         "Suppress inline (reason mandatory, counted in the report):\n"
+         "  code();  " /* keep the directive non-contiguous in this binary's
+                          own source */
+      << "// ntco-"
+      << "lint: allow(R2) why this is order-insensitive\n"
+         "\n"
+         "Exit status: 0 clean, 1 new diagnostics, 2 usage/config error.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  std::string json_out;
+  std::string write_baseline;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      if (const char* v = next()) root = v; else return usage(argv[0]);
+    } else if (arg == "--baseline") {
+      if (const char* v = next()) baseline_path = v; else return usage(argv[0]);
+    } else if (arg == "--json-out") {
+      if (const char* v = next()) json_out = v; else return usage(argv[0]);
+    } else if (arg == "--write-baseline") {
+      if (const char* v = next()) write_baseline = v; else return usage(argv[0]);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ntco-lint: unknown option '" << arg << "'\n";
+      return usage(argv[0]);
+    } else {
+      roots.push_back(arg);
+    }
+  }
+
+  try {
+    ntco::lint::Config cfg = ntco::lint::default_config(root);
+    if (!roots.empty()) cfg.roots = roots;
+
+    const ntco::lint::Report report = ntco::lint::run(cfg);
+
+    ntco::lint::Baseline baseline;
+    if (!baseline_path.empty())
+      baseline = ntco::lint::Baseline::from_file(baseline_path);
+    const std::vector<ntco::lint::Diagnostic> fresh =
+        baseline.filter_new(report.diagnostics);
+
+    for (const auto& d : fresh)
+      std::cout << d.file << ":" << d.line << ": ["
+                << ntco::lint::rule_name(d.rule) << "] " << d.message << "\n";
+
+    if (!write_baseline.empty()) {
+      std::ofstream out(write_baseline, std::ios::binary);
+      if (!out) {
+        std::cerr << "ntco-lint: cannot write baseline " << write_baseline
+                  << "\n";
+        return 2;
+      }
+      out << ntco::lint::Baseline::to_text(report.diagnostics);
+      std::cout << "ntco-lint: wrote baseline with "
+                << report.diagnostics.size() << " entries to "
+                << write_baseline << "\n";
+    }
+
+    if (!json_out.empty()) {
+      std::ofstream out(json_out, std::ios::binary);
+      if (!out) {
+        std::cerr << "ntco-lint: cannot write report " << json_out << "\n";
+        return 2;
+      }
+      out << ntco::lint::to_json(report, fresh);
+    }
+
+    std::cout << "ntco-lint: " << report.files_scanned << " files, "
+              << report.diagnostics.size() << " diagnostics ("
+              << report.diagnostics.size() - fresh.size() << " baselined), "
+              << report.suppressions.size() << " suppressions, "
+              << fresh.size() << " new\n";
+    return fresh.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "ntco-lint: error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -2,6 +2,7 @@
 # Configure, build, and run the test suite under a sanitizer family.
 #
 #   tools/sanitize.sh [address|thread] [build-dir]
+#   tools/sanitize.sh --help
 #
 # Default family is address (ASan + UBSan); `thread` builds with TSan
 # instead, which is what the fleet thread-pool tests want (the two families
@@ -9,7 +10,19 @@
 # Benches and examples are skipped: the sanitizer run exists to shake out
 # memory, UB, and data-race errors in the library and its tests, not to
 # time anything.
+#
+# These sanitizer runs are the *dynamic* half of the determinism story:
+# they only catch what the chosen inputs execute. The static half is
+# `ntco-lint` (tools/ci.sh step 2, ctest LintClean), which checks every
+# source file for nondeterminism sources, unordered-container iteration,
+# stray threading, and layering back-edges without running anything.
 set -eu
+
+if [ "${1:-}" = "--help" ] || [ "${1:-}" = "-h" ]; then
+  # Print this header comment block (everything up to the first non-# line).
+  awk 'NR > 1 { if ($0 !~ /^#/) exit; sub(/^# ?/, ""); print }' "$0"
+  exit 0
+fi
 
 FAMILY="${1:-address}"
 BUILD_DIR="${2:-build-${FAMILY}san}"
