@@ -1,0 +1,173 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ntco/app/task_graph.hpp"
+#include "ntco/broker/admission.hpp"
+#include "ntco/broker/batch_dispatcher.hpp"
+#include "ntco/broker/plan_cache.hpp"
+#include "ntco/common/units.hpp"
+#include "ntco/core/controller.hpp"
+#include "ntco/obs/metrics.hpp"
+#include "ntco/obs/trace.hpp"
+#include "ntco/partition/partitioners.hpp"
+#include "ntco/sched/deferred_scheduler.hpp"
+#include "ntco/serverless/platform.hpp"
+#include "ntco/sim/simulator.hpp"
+
+/// \file broker.hpp
+/// The serving layer: one broker fronting OffloadController for a
+/// population of users.
+///
+/// F5-style experiments recompute the full profile→partition→allocate
+/// decision independently for every simulated user — the per-request
+/// "compiled plan" redundancy that scalable offloading pipelines eliminate.
+/// The broker closes that gap with three layers in front of the
+/// controller:
+///
+///   serve() ─ AdmissionController ─ PlanCache ─ BatchDispatcher ─ core
+///
+/// 1. **Admission**: a token bucket bounds decision throughput; requests
+///    with slack defer under overload, tight ones shed loudly.
+/// 2. **Plan cache**: the decision context (workload, link buckets,
+///    battery, price window) keys a cached DeploymentPlan; hits skip both
+///    the planning work (modelled as simulated decision latency) and —
+///    with the controller's fingerprint-idempotent deployment — the
+///    redundant function deploys that previously cold-started per user.
+/// 3. **Batch dispatch**: starts chosen by sched::DeferredScheduler are
+///    aligned on a price-window grid and released as lane-chained batches,
+///    so warm instances amortise across users, not just within one user.
+///
+/// One broker serves one shard. Fleet runs give every shard its own
+/// broker + platform + cache (see bench_f12_broker); merged artifacts are
+/// byte-identical at any NTCO_THREADS because nothing here draws on wall
+/// clock or unordered iteration.
+
+namespace ntco::broker {
+
+struct BrokerConfig {
+  PlanCacheConfig cache;
+  AdmissionConfig admission;
+  BatchConfig batch;
+  sched::DeferredScheduler::Config defer;
+  /// Disable to measure the no-cache baseline (every request replans).
+  bool cache_enabled = true;
+  /// Disable to dispatch each job individually at its planned start.
+  bool batching_enabled = true;
+  /// Simulated cost of computing a plan from scratch (profile → partition
+  /// → allocate): base plus a per-component term. Charged as decision
+  /// latency before dispatch.
+  Duration plan_cost_base = Duration::millis(2);
+  Duration plan_cost_per_component = Duration::micros(300);
+  /// Simulated cost of serving a plan from the cache.
+  Duration hit_cost = Duration::micros(5);
+};
+
+/// One user's offload request. `app` must outlive the serve (the broker
+/// executes against it); it doubles as estimate and truth.
+struct ServeRequest {
+  const app::TaskGraph* app = nullptr;
+  /// Delay tolerance: the job may finish any time within release + slack.
+  Duration slack = Duration::hours(8);
+  /// UE state of charge in [0, 1] (part of the decision context).
+  double battery = 1.0;
+  /// This user's link quality relative to the path's nominal rates.
+  double bandwidth_scale = 1.0;
+};
+
+enum class ServeStatus : std::uint8_t {
+  Completed,  ///< executed; report is the measured run
+  Shed,       ///< rejected by admission (see shed_reason)
+  Failed,     ///< executed but the run aborted (transfer loss)
+};
+
+/// Final word on one request, delivered to serve()'s callback.
+struct ServeOutcome {
+  ServeStatus status = ServeStatus::Completed;
+  ShedReason shed_reason = ShedReason::None;
+  bool cache_hit = false;       ///< plan came from the cache
+  Duration decision_latency;    ///< simulated planning/serving time
+  TimePoint released;           ///< when serve() was called
+  TimePoint finished;           ///< when the outcome fired
+  std::uint64_t deferrals = 0;  ///< admission retries this request took
+  core::ExecutionReport report;  ///< valid unless status == Shed
+};
+
+struct BrokerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;
+};
+
+/// Population-scale serving facade over one OffloadController.
+class Broker {
+ public:
+  /// All references must outlive the broker. `partitioner` is shared by
+  /// every planning request.
+  Broker(sim::Simulator& sim, serverless::Platform& platform,
+         core::OffloadController& controller,
+         const partition::Partitioner& partitioner, BrokerConfig cfg);
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Serves one request. The outcome callback fires exactly once — at shed
+  /// time, or when the (possibly deferred, batched) execution completes.
+  /// Drive the simulator (sim.run()) to make progress.
+  void serve(ServeRequest req,
+             std::function<void(const ServeOutcome&)> done = {});
+
+  [[nodiscard]] const BrokerStats& stats() const { return stats_; }
+  [[nodiscard]] const PlanCache& cache() const { return cache_; }
+  [[nodiscard]] const AdmissionController& admission() const {
+    return admission_;
+  }
+  [[nodiscard]] const BatchDispatcher& dispatcher() const {
+    return dispatcher_;
+  }
+  [[nodiscard]] const BrokerConfig& config() const { return cfg_; }
+
+  /// Attaches observability to the broker and its layers. `trace` receives
+  /// "broker.*" events; `metrics` hosts the "broker.*" instruments. Either
+  /// may be null. Stable names are listed in DESIGN.md ("Observability").
+  void attach_observer(obs::TraceSink* trace, obs::MetricsRegistry* metrics);
+
+ private:
+  /// (Re-)attempts admission; deferred requests loop back here.
+  void attempt(ServeRequest req, TimePoint released, std::uint64_t deferrals,
+               std::function<void(const ServeOutcome&)> done, bool is_retry);
+  /// Past admission: cache lookup or fresh plan, then dispatch.
+  void decide_and_dispatch(ServeRequest req, TimePoint released,
+                           std::uint64_t deferrals,
+                           std::function<void(const ServeOutcome&)> done);
+  /// Rough pre-planning duration estimate used by admission.
+  [[nodiscard]] Duration admission_estimate(const app::TaskGraph& g) const;
+
+  struct Instruments {
+    obs::Counter* requests = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* failed = nullptr;
+    stats::Accumulator* decision_us = nullptr;
+    stats::Accumulator* job_cost_usd = nullptr;
+    stats::Accumulator* completion_s = nullptr;
+  };
+
+  sim::Simulator& sim_;
+  serverless::Platform& platform_;
+  core::OffloadController& controller_;
+  const partition::Partitioner& partitioner_;
+  BrokerConfig cfg_;
+  sched::DeferredScheduler scheduler_;
+  PlanCache cache_;
+  AdmissionController admission_;
+  BatchDispatcher dispatcher_;
+  BrokerStats stats_;
+  obs::TraceSink* trace_ = nullptr;
+  Instruments m_;
+};
+
+}  // namespace ntco::broker

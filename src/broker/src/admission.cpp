@@ -1,0 +1,89 @@
+#include "ntco/broker/admission.hpp"
+
+#include <algorithm>
+
+#include "ntco/common/contracts.hpp"
+
+namespace ntco::broker {
+
+AdmissionController::AdmissionController(AdmissionConfig cfg)
+    : cfg_(cfg), tokens_(cfg.burst) {
+  NTCO_EXPECTS(cfg_.rate_per_second > 0.0);
+  NTCO_EXPECTS(cfg_.burst >= 1.0);
+  NTCO_EXPECTS(!cfg_.min_defer.is_negative());
+}
+
+void AdmissionController::attach_observer(obs::TraceSink* trace,
+                                          obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  m_ = {};
+  if (metrics != nullptr) {
+    m_.admitted = &metrics->counter("broker.admission.admitted");
+    m_.deferrals = &metrics->counter("broker.admission.deferrals");
+    m_.shed = &metrics->counter("broker.admission.shed");
+  }
+}
+
+void AdmissionController::refill(TimePoint now) {
+  NTCO_EXPECTS(now >= last_refill_);
+  const double dt = (now - last_refill_).to_seconds();
+  tokens_ = std::min(cfg_.burst, tokens_ + dt * cfg_.rate_per_second);
+  last_refill_ = now;
+}
+
+AdmissionDecision AdmissionController::decide(TimePoint now,
+                                              TimePoint deadline,
+                                              Duration est) {
+  refill(now);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    ++stats_.admitted;
+    if (m_.admitted) m_.admitted->add();
+    return {AdmissionVerdict::Admitted, ShedReason::None, now};
+  }
+
+  // No token: quote a retry time that accounts for the backlog already
+  // waiting, so deferred requests drain at the refill rate instead of
+  // thundering back together at the next refill.
+  const double deficit = 1.0 - tokens_;
+  const double backlog = static_cast<double>(stats_.deferred_outstanding);
+  const Duration wait = std::max(
+      cfg_.min_defer,
+      Duration::from_seconds((backlog + deficit) / cfg_.rate_per_second));
+  const TimePoint retry_at = now + wait;
+
+  ShedReason reason = ShedReason::None;
+  if (retry_at + est > deadline) {
+    reason = ShedReason::DeadlineTooTight;
+  } else if (stats_.deferred_outstanding >= cfg_.max_deferred) {
+    reason = ShedReason::QueueFull;
+  }
+
+  if (reason != ShedReason::None) {
+    ++stats_.shed;
+    if (m_.shed) m_.shed->add();
+    if (trace_)
+      obs::emit(trace_, now, "broker.admission_shed",
+                {{"reason", reason == ShedReason::DeadlineTooTight
+                                ? "deadline_too_tight"
+                                : "queue_full"},
+                 {"deadline", deadline},
+                 {"est", est}});
+    return {AdmissionVerdict::Shed, reason, retry_at};
+  }
+
+  ++stats_.deferrals;
+  ++stats_.deferred_outstanding;
+  if (m_.deferrals) m_.deferrals->add();
+  if (trace_)
+    obs::emit(trace_, now, "broker.admission_defer",
+              {{"retry_at", retry_at}, {"deadline", deadline}});
+  return {AdmissionVerdict::Deferred, ShedReason::None, retry_at};
+}
+
+void AdmissionController::retry_resolved() {
+  NTCO_EXPECTS(stats_.deferred_outstanding > 0);
+  --stats_.deferred_outstanding;
+}
+
+}  // namespace ntco::broker

@@ -1,0 +1,98 @@
+#include "ntco/broker/batch_dispatcher.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ntco/common/contracts.hpp"
+
+namespace ntco::broker {
+
+BatchDispatcher::BatchDispatcher(sim::Simulator& sim, BatchConfig cfg)
+    : sim_(sim), cfg_(cfg) {
+  NTCO_EXPECTS(cfg_.max_batch > 0);
+  NTCO_EXPECTS(cfg_.lanes > 0);
+  NTCO_EXPECTS(cfg_.interval > Duration::zero());
+}
+
+void BatchDispatcher::attach_observer(obs::TraceSink* trace,
+                                      obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  m_ = {};
+  if (metrics != nullptr) {
+    m_.batches = &metrics->counter("broker.batch.batches");
+    m_.jobs = &metrics->counter("broker.batch.jobs");
+    m_.sealed = &metrics->counter("broker.batch.sealed");
+  }
+}
+
+void BatchDispatcher::enqueue(const std::string& group, TimePoint flush_at,
+                              Job job) {
+  NTCO_EXPECTS(job != nullptr);
+  const TimePoint at = std::max(flush_at, sim_.now());
+  const Key key{group, at.since_origin().count_micros()};
+  auto [it, inserted] = pending_.try_emplace(key);
+  Pending& batch = it->second;
+  if (inserted) {
+    batch.flush_event = sim_.schedule_at(at, [this, key] { flush(key); });
+  }
+  batch.jobs.push_back(std::move(job));
+  if (batch.jobs.size() >= cfg_.max_batch) {
+    // Seal: the batch stops growing but still flushes at its aligned
+    // instant — dispatching now would leave the price window the instant
+    // was chosen for. Later arrivals re-open the key with a fresh event.
+    auto sealed = std::make_shared<std::vector<Job>>(std::move(batch.jobs));
+    sim_.cancel(batch.flush_event);
+    pending_.erase(it);
+    sim_.schedule_at(at, [this, group, sealed] {
+      release(group, std::move(*sealed), /*sealed=*/true);
+    });
+  }
+}
+
+void BatchDispatcher::flush(const Key& key) {
+  const auto it = pending_.find(key);
+  NTCO_EXPECTS(it != pending_.end());
+  std::vector<Job> jobs = std::move(it->second.jobs);
+  pending_.erase(it);
+  release(key.group, std::move(jobs), /*sealed=*/false);
+}
+
+void BatchDispatcher::release(const std::string& group, std::vector<Job> jobs,
+                              bool sealed) {
+  ++stats_.batches;
+  stats_.jobs_dispatched += jobs.size();
+  if (sealed) ++stats_.sealed;
+  if (m_.batches) {
+    m_.batches->add();
+    m_.jobs->add(jobs.size());
+    if (sealed) m_.sealed->add();
+  }
+  if (trace_)
+    obs::emit(trace_, sim_.now(), "broker.batch_flush",
+              {{"group", std::string_view(group)},
+               {"jobs", jobs.size()},
+               {"sealed", sealed}});
+
+  // Round-robin the batch over `lanes` sequential chains: lane l runs jobs
+  // l, l+lanes, l+2*lanes, ... back to back, so every job after the first
+  // in its lane finds the warm instances its predecessor just released.
+  const std::size_t lanes = std::min(cfg_.lanes, jobs.size());
+  std::vector<std::shared_ptr<std::vector<Job>>> lane_jobs;
+  lane_jobs.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l)
+    lane_jobs.push_back(std::make_shared<std::vector<Job>>());
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    lane_jobs[i % lanes]->push_back(std::move(jobs[i]));
+  for (std::size_t l = 0; l < lanes; ++l) run_lane(lane_jobs[l], 0);
+}
+
+void BatchDispatcher::run_lane(std::shared_ptr<std::vector<Job>> lane,
+                               std::size_t next) {
+  if (next >= lane->size()) return;
+  Job& job = (*lane)[next];
+  job([this, lane = std::move(lane), next]() mutable {
+    run_lane(std::move(lane), next + 1);
+  });
+}
+
+}  // namespace ntco::broker

@@ -1,0 +1,205 @@
+#include "ntco/broker/broker.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ntco/common/contracts.hpp"
+
+namespace ntco::broker {
+
+Broker::Broker(sim::Simulator& sim, serverless::Platform& platform,
+               core::OffloadController& controller,
+               const partition::Partitioner& partitioner, BrokerConfig cfg)
+    : sim_(sim),
+      platform_(platform),
+      controller_(controller),
+      partitioner_(partitioner),
+      cfg_(std::move(cfg)),
+      scheduler_(platform, cfg_.defer),
+      cache_(cfg_.cache),
+      admission_(cfg_.admission),
+      dispatcher_(sim, cfg_.batch) {}
+
+void Broker::attach_observer(obs::TraceSink* trace,
+                             obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  m_ = {};
+  if (metrics != nullptr) {
+    m_.requests = &metrics->counter("broker.requests");
+    m_.completed = &metrics->counter("broker.completed");
+    m_.failed = &metrics->counter("broker.failed");
+    m_.decision_us = &metrics->summary("broker.decision_us");
+    m_.job_cost_usd = &metrics->summary("broker.job_cost_usd");
+    m_.completion_s = &metrics->summary("broker.completion_s");
+  }
+  cache_.attach_observer(trace, metrics);
+  admission_.attach_observer(trace, metrics);
+  dispatcher_.attach_observer(trace, metrics);
+}
+
+Duration Broker::admission_estimate(const app::TaskGraph& g) const {
+  // Coarse on purpose: admission runs *before* planning, so all it can
+  // afford is "all the work, remotely, at the reference memory".
+  const DataSize ref =
+      platform_.quantize_memory(controller_.config().reference_memory);
+  return platform_.exec_time(ref, g.total_work());
+}
+
+void Broker::serve(ServeRequest req,
+                   std::function<void(const ServeOutcome&)> done) {
+  NTCO_EXPECTS(req.app != nullptr);
+  NTCO_EXPECTS(req.battery >= 0.0 && req.battery <= 1.0);
+  NTCO_EXPECTS(req.bandwidth_scale > 0.0);
+  NTCO_EXPECTS(!req.slack.is_negative());
+  ++stats_.requests;
+  if (m_.requests) m_.requests->add();
+  attempt(std::move(req), sim_.now(), 0, std::move(done), /*is_retry=*/false);
+}
+
+void Broker::attempt(ServeRequest req, TimePoint released,
+                     std::uint64_t deferrals,
+                     std::function<void(const ServeOutcome&)> done,
+                     bool is_retry) {
+  if (is_retry) admission_.retry_resolved();
+  const TimePoint now = sim_.now();
+  const TimePoint deadline = released + req.slack;
+  const AdmissionDecision d =
+      admission_.decide(now, deadline, admission_estimate(*req.app));
+
+  switch (d.verdict) {
+    case AdmissionVerdict::Admitted:
+      decide_and_dispatch(std::move(req), released, deferrals,
+                          std::move(done));
+      return;
+    case AdmissionVerdict::Deferred:
+      sim_.schedule_at(d.retry_at, [this, req = std::move(req), released,
+                                    deferrals,
+                                    done = std::move(done)]() mutable {
+        attempt(std::move(req), released, deferrals + 1, std::move(done),
+                /*is_retry=*/true);
+      });
+      return;
+    case AdmissionVerdict::Shed: {
+      ++stats_.shed;
+      ServeOutcome out;
+      out.status = ServeStatus::Shed;
+      out.shed_reason = d.reason;
+      out.released = released;
+      out.finished = now;
+      out.deferrals = deferrals;
+      if (done) done(out);
+      return;
+    }
+  }
+}
+
+void Broker::decide_and_dispatch(ServeRequest req, TimePoint released,
+                                 std::uint64_t deferrals,
+                                 std::function<void(const ServeOutcome&)> done) {
+  const app::TaskGraph& g = *req.app;
+  const TimePoint now = sim_.now();
+
+  // The user's link quality perturbs the nominal planning environment;
+  // that perturbed environment is both what the partitioner sees and what
+  // the cache key quantizes.
+  partition::Environment env = controller_.make_environment(g);
+  env.uplink = env.uplink * req.bandwidth_scale;
+  env.downlink = env.downlink * req.bandwidth_scale;
+
+  DecisionContext ctx;
+  ctx.workload = g.name();
+  ctx.uplink = env.uplink;
+  ctx.rtt = env.uplink_latency + env.downlink_latency;
+  ctx.battery = req.battery;
+  ctx.hour = static_cast<int>(
+      (now.since_origin().count_micros() / 3'600'000'000LL) % 24);
+
+  // The cache hands back a pointer that the next mutation invalidates, so
+  // the execution path owns an immutable copy.
+  std::shared_ptr<const core::DeploymentPlan> plan;
+  bool hit = false;
+  if (cfg_.cache_enabled) {
+    if (const core::DeploymentPlan* found = cache_.lookup(ctx, now)) {
+      plan = std::make_shared<const core::DeploymentPlan>(*found);
+      hit = true;
+    }
+  }
+  if (plan == nullptr) {
+    core::DeploymentPlan fresh = controller_.prepare(g, partitioner_, env);
+    if (cfg_.cache_enabled) cache_.insert(ctx, fresh, now);
+    plan = std::make_shared<const core::DeploymentPlan>(std::move(fresh));
+  }
+
+  const Duration decision =
+      hit ? cfg_.hit_cost
+          : cfg_.plan_cost_base +
+                cfg_.plan_cost_per_component *
+                    static_cast<double>(g.component_count());
+  if (m_.decision_us)
+    m_.decision_us->add(static_cast<double>(decision.count_micros()));
+
+  // The decision itself takes simulated time; dispatch resumes after it.
+  sim_.schedule_after(decision, [this, req = std::move(req), released,
+                                 deferrals, plan = std::move(plan), hit,
+                                 decision, done = std::move(done)]() mutable {
+    const app::TaskGraph& truth = *req.app;
+    const TimePoint resumed = sim_.now();
+    const TimePoint deadline = released + req.slack;
+    const Duration slack_left =
+        deadline > resumed ? deadline - resumed : Duration::zero();
+    const sched::DeferredJob job{truth.name(), truth.total_work(), slack_left};
+    const Duration est = plan->predicted.latency;
+    const TimePoint start = scheduler_.plan_start(resumed, job, est);
+
+    BatchDispatcher::Job run =
+        [this, plan, truth_ptr = req.app, released, hit, decision, deferrals,
+         done = std::move(done)](std::function<void()> batch_done) mutable {
+          controller_.execute_async(
+              *plan, *truth_ptr,
+              [this, plan, released, hit, decision, deferrals,
+               done = std::move(done), batch_done = std::move(batch_done)](
+                  const core::ExecutionReport& r) mutable {
+                ServeOutcome out;
+                out.status = r.failed ? ServeStatus::Failed
+                                      : ServeStatus::Completed;
+                out.cache_hit = hit;
+                out.decision_latency = decision;
+                out.released = released;
+                out.finished = sim_.now();
+                out.deferrals = deferrals;
+                out.report = r;
+                if (r.failed) {
+                  ++stats_.failed;
+                  if (m_.failed) m_.failed->add();
+                } else {
+                  ++stats_.completed;
+                  if (m_.completed) m_.completed->add();
+                }
+                if (m_.job_cost_usd)
+                  m_.job_cost_usd->add(r.cloud_cost.to_usd());
+                if (m_.completion_s)
+                  m_.completion_s->add((out.finished - released).to_seconds());
+                if (batch_done) batch_done();
+                if (done) done(out);
+              });
+        };
+
+    if (cfg_.batching_enabled) {
+      // Align the start up to the batch grid so compatible users flush
+      // together, but never past the latest deadline-safe start.
+      const TimePoint latest = scheduler_.latest_start(resumed, job, est);
+      const std::int64_t grid = cfg_.batch.interval.count_micros();
+      const std::int64_t s = start.since_origin().count_micros();
+      TimePoint flush_at =
+          TimePoint::at(Duration::micros((s + grid - 1) / grid * grid));
+      if (flush_at > latest) flush_at = latest;
+      if (flush_at < start) flush_at = start;
+      dispatcher_.enqueue(truth.name(), flush_at, std::move(run));
+    } else {
+      sim_.schedule_at(std::max(start, resumed),
+                       [run = std::move(run)]() mutable { run([] {}); });
+    }
+  });
+}
+
+}  // namespace ntco::broker

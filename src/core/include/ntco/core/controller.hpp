@@ -2,7 +2,9 @@
 
 #include <functional>
 #include <limits>
+#include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "ntco/alloc/memory_optimizer.hpp"
@@ -151,8 +153,22 @@ class OffloadController {
   /// Partitions `g`, sizes a serverless function for every remote
   /// component, and deploys them. `g` is normally the profiler's estimated
   /// graph.
+  ///
+  /// Deployment is idempotent per plan fingerprint (graph identity +
+  /// placement + per-function memory/image): preparing an identical plan
+  /// again reuses the already-deployed functions — and with them their
+  /// warm instances — instead of registering fresh cold ones. This is what
+  /// lets a plan-cache hit skip the redundant deploy cost (previously
+  /// every prepare() cold-started a brand-new set of functions).
   [[nodiscard]] DeploymentPlan prepare(
       const app::TaskGraph& g, const partition::Partitioner& partitioner);
+
+  /// As above, but plans against a caller-supplied environment instead of
+  /// make_environment(g) — the broker perturbs link figures per user
+  /// before planning.
+  [[nodiscard]] DeploymentPlan prepare(
+      const app::TaskGraph& g, const partition::Partitioner& partitioner,
+      const partition::Environment& env);
 
   /// Executes `truth` once under `plan`, sequentially in topological
   /// order; `done` fires with the measured report. Multiple concurrent
@@ -204,6 +220,8 @@ class OffloadController {
     obs::Counter* run_failures = nullptr;
     obs::Counter* local_fallbacks = nullptr;
     obs::Counter* transfer_failures = nullptr;
+    obs::Counter* plan_deploys = nullptr;
+    obs::Counter* plan_reuses = nullptr;
     stats::Accumulator* makespan_ms = nullptr;
     stats::Accumulator* cloud_cost_usd = nullptr;
     stats::Accumulator* device_energy_j = nullptr;
@@ -216,6 +234,9 @@ class OffloadController {
   ControllerConfig cfg_;
   obs::TraceSink* trace_ = nullptr;
   Instruments m_;
+  /// Deployed-function memo keyed by plan fingerprint (see prepare()):
+  /// identical plans reuse their FunctionIds instead of redeploying.
+  std::map<std::string, std::vector<serverless::FunctionId>> deployed_;
 };
 
 }  // namespace ntco::core

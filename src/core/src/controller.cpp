@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <deque>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "ntco/common/error.hpp"
 #include "ntco/net/flaky_link.hpp"
@@ -28,6 +31,8 @@ void OffloadController::attach_observer(obs::TraceSink* trace,
     m_.run_failures = &metrics->counter("core.run_failures");
     m_.local_fallbacks = &metrics->counter("core.local_fallbacks");
     m_.transfer_failures = &metrics->counter("core.transfer_failures");
+    m_.plan_deploys = &metrics->counter("core.plan_deploys");
+    m_.plan_reuses = &metrics->counter("core.plan_reuses");
     m_.makespan_ms = &metrics->summary("core.makespan_ms");
     m_.cloud_cost_usd = &metrics->summary("core.cloud_cost_usd");
     m_.device_energy_j = &metrics->summary("core.device_energy_j");
@@ -94,8 +99,14 @@ partition::Environment OffloadController::make_environment(
 
 DeploymentPlan OffloadController::prepare(
     const app::TaskGraph& g, const partition::Partitioner& partitioner) {
+  return prepare(g, partitioner, make_environment(g));
+}
+
+DeploymentPlan OffloadController::prepare(
+    const app::TaskGraph& g, const partition::Partitioner& partitioner,
+    const partition::Environment& env) {
   DeploymentPlan plan;
-  plan.environment = make_environment(g);
+  plan.environment = env;
   const partition::CostModel model(g, plan.environment, cfg_.objective);
   plan.partition = partitioner.plan(model);
   NTCO_ENSURES(plan.partition.respects_pins(g));
@@ -105,7 +116,14 @@ DeploymentPlan OffloadController::prepare(
                           DeploymentPlan::kInvalidFunction);
   plan.memory_of.assign(g.component_count(), DataSize::zero());
 
+  // Size every remote component's function first; the resulting specs (not
+  // the environment that produced them) are what deployment must be
+  // idempotent over.
   const alloc::MemoryOptimizer optimizer(platform_);
+  std::vector<std::pair<app::ComponentId, serverless::FunctionSpec>> specs;
+  std::string fingerprint = g.name();
+  fingerprint += '|';
+  fingerprint += plan.partition.to_string();
   for (app::ComponentId id = 0; id < g.component_count(); ++id) {
     if (!plan.partition.is_remote(id)) continue;
     const auto& comp = g.component(id);
@@ -119,10 +137,41 @@ DeploymentPlan OffloadController::prepare(
         optimizer.choose(comp.work, comp.memory, comp.parallel_fraction,
                          deadline, cfg_.memory_step);
     plan.memory_of[id] = choice.chosen.memory;
-    plan.function_of[id] = platform_.deploy(serverless::FunctionSpec{
-        g.name() + "/" + comp.name, choice.chosen.memory, comp.image,
-        comp.parallel_fraction});
+    specs.emplace_back(id, serverless::FunctionSpec{
+                               g.name() + "/" + comp.name,
+                               choice.chosen.memory, comp.image,
+                               comp.parallel_fraction});
+    fingerprint += '|';
+    fingerprint += comp.name;
+    fingerprint += '@';
+    fingerprint += std::to_string(choice.chosen.memory.count_bytes());
+    fingerprint += '#';
+    fingerprint += std::to_string(comp.image.count_bytes());
   }
+
+  const auto memo = deployed_.find(fingerprint);
+  if (memo != deployed_.end()) {
+    // Same functions, same sizes: reuse the deployment (and its warm
+    // instances) instead of registering cold duplicates.
+    NTCO_ENSURES(memo->second.size() == specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      plan.function_of[specs[i].first] = memo->second[i];
+    if (m_.plan_reuses) m_.plan_reuses->add();
+    if (trace_)
+      obs::emit(trace_, sim_.now(), "ctl.deploy.reuse",
+                {{"app", std::string_view(g.name())},
+                 {"functions", specs.size()}});
+    return plan;
+  }
+
+  std::vector<serverless::FunctionId> ids;
+  ids.reserve(specs.size());
+  for (auto& [id, spec] : specs) {
+    plan.function_of[id] = platform_.deploy(std::move(spec));
+    ids.push_back(plan.function_of[id]);
+  }
+  deployed_.emplace(std::move(fingerprint), std::move(ids));
+  if (m_.plan_deploys) m_.plan_deploys->add();
   return plan;
 }
 

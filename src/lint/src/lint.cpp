@@ -680,6 +680,7 @@ Config default_config(std::string root) {
       {"sched", {"serverless", "net", "device", "stats"}},
       {"alloc", {"serverless"}},
       {"core", {"alloc", "partition", "net", "app", "device"}},
+      {"broker", {"core", "sched", "obs"}},
       {"cicd", {"core", "profile"}},
   };
   return cfg;

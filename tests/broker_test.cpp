@@ -1,0 +1,416 @@
+#include "ntco/broker/broker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ntco/app/workloads.hpp"
+#include "ntco/fleet/replicator.hpp"
+
+// Suite names start with "Broker" so tools/ci.sh can rerun exactly these
+// (plus the Fleet suites) under ThreadSanitizer (ctest -R '^Fleet|^Broker').
+
+namespace ntco::broker {
+namespace {
+
+// ---------------------------------------------------------------- PlanCache
+
+/// A recognisable plan: unit tests only need identity, not deployability.
+core::DeploymentPlan plan_with(Duration tag) {
+  core::DeploymentPlan p;
+  p.predicted.latency = tag;
+  return p;
+}
+
+DecisionContext ctx_with(std::string workload, double mbps,
+                         double battery = 1.0) {
+  DecisionContext ctx;
+  ctx.workload = std::move(workload);
+  ctx.uplink = DataRate::megabits_per_second(mbps);
+  ctx.rtt = Duration::millis(20);
+  ctx.battery = battery;
+  ctx.hour = 10;
+  return ctx;
+}
+
+TEST(BrokerPlanCache, MissThenInsertThenHit) {
+  PlanCache cache({});
+  const auto ctx = ctx_with("app", 80.0);
+  const TimePoint t0 = TimePoint::origin();
+
+  EXPECT_EQ(cache.lookup(ctx, t0), nullptr);
+  cache.insert(ctx, plan_with(Duration::seconds(7)), t0);
+  const core::DeploymentPlan* p = cache.lookup(ctx, t0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->predicted.latency, Duration::seconds(7));
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(BrokerPlanCache, LruEvictionOrder) {
+  PlanCacheConfig cfg;
+  cfg.capacity = 2;
+  PlanCache cache(cfg);
+  const TimePoint t0 = TimePoint::origin();
+  // Three distinct workloads occupy three distinct keys.
+  const auto a = ctx_with("a", 80.0);
+  const auto b = ctx_with("b", 80.0);
+  const auto c = ctx_with("c", 80.0);
+
+  cache.insert(a, plan_with(Duration::seconds(1)), t0);
+  cache.insert(b, plan_with(Duration::seconds(2)), t0);
+  // Touch `a`: now `b` is the least recently used.
+  ASSERT_NE(cache.lookup(a, t0), nullptr);
+  cache.insert(c, plan_with(Duration::seconds(3)), t0);
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.lookup(b, t0), nullptr);  // evicted as LRU
+  EXPECT_NE(cache.lookup(a, t0), nullptr);  // survived (recently used)
+  EXPECT_NE(cache.lookup(c, t0), nullptr);
+}
+
+TEST(BrokerPlanCache, TtlExpiresAtSimulatedTime) {
+  PlanCacheConfig cfg;
+  cfg.ttl = Duration::hours(1);
+  PlanCache cache(cfg);
+  const auto ctx = ctx_with("app", 80.0);
+  const TimePoint t0 = TimePoint::origin();
+
+  cache.insert(ctx, plan_with(Duration::seconds(1)), t0);
+  EXPECT_NE(cache.lookup(ctx, t0 + Duration::minutes(59)), nullptr);
+  EXPECT_EQ(cache.lookup(ctx, t0 + Duration::minutes(61)), nullptr);
+  EXPECT_EQ(cache.stats().expiries, 1u);
+  EXPECT_EQ(cache.size(), 0u);  // expired entries are erased on lookup
+}
+
+TEST(BrokerPlanCache, HysteresisReusesNeighbourWithinDrift) {
+  PlanCache cache({});  // hysteresis 0.25
+  const TimePoint t0 = TimePoint::origin();
+  // Planned at 80 Mbps -> bucket round(log2 80) = 6.
+  cache.insert(ctx_with("app", 80.0), plan_with(Duration::seconds(1)), t0);
+
+  // 96 Mbps quantizes to neighbouring bucket 7, but the raw drift from the
+  // planning context is 20% <= 25%: the plan is still good.
+  EXPECT_NE(cache.lookup(ctx_with("app", 96.0), t0), nullptr);
+  EXPECT_EQ(cache.stats().hysteresis_hits, 1u);
+
+  // 160 Mbps also probes bucket 6 as a neighbour, but 100% drift is a
+  // genuine regime change: replan.
+  EXPECT_EQ(cache.lookup(ctx_with("app", 160.0), t0), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(BrokerPlanCache, QuantizeClampsAndWindows) {
+  const PlanCacheConfig cfg;  // 4 battery buckets, 6-hour windows
+  auto ctx = ctx_with("app", 80.0, /*battery=*/1.0);
+  ctx.hour = 23;
+  const PlanKey k = quantize(ctx, cfg);
+  EXPECT_EQ(k.battery_bucket, 3);  // full charge clamps into the top bucket
+  EXPECT_EQ(k.window, 3);          // 23:00 is the last 6-hour window
+  ctx.hour = 0;
+  ctx.battery = 0.0;
+  const PlanKey k2 = quantize(ctx, cfg);
+  EXPECT_EQ(k2.battery_bucket, 0);
+  EXPECT_EQ(k2.window, 0);
+}
+
+// --------------------------------------------------------------- Admission
+
+TEST(BrokerAdmission, AdmitsWithinBurstThenDefers) {
+  AdmissionConfig cfg;
+  cfg.rate_per_second = 1.0;
+  cfg.burst = 2.0;
+  cfg.min_defer = Duration::seconds(1);
+  AdmissionController adm(cfg);
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint deadline = t0 + Duration::hours(1);
+  const Duration est = Duration::seconds(10);
+
+  EXPECT_EQ(adm.decide(t0, deadline, est).verdict, AdmissionVerdict::Admitted);
+  EXPECT_EQ(adm.decide(t0, deadline, est).verdict, AdmissionVerdict::Admitted);
+  const auto d = adm.decide(t0, deadline, est);
+  EXPECT_EQ(d.verdict, AdmissionVerdict::Deferred);
+  EXPECT_GE(d.retry_at, t0 + cfg.min_defer);
+  EXPECT_EQ(adm.stats().deferred_outstanding, 1u);
+
+  // Tokens refill with simulated time: two seconds buy two decisions.
+  adm.retry_resolved();
+  EXPECT_EQ(adm.decide(t0 + Duration::seconds(2), deadline, est).verdict,
+            AdmissionVerdict::Admitted);
+}
+
+TEST(BrokerAdmission, BacklogSpreadsRetryQuotes) {
+  AdmissionConfig cfg;
+  cfg.rate_per_second = 1.0;
+  cfg.burst = 1.0;
+  cfg.min_defer = Duration::zero() + Duration::micros(1);
+  AdmissionController adm(cfg);
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint deadline = t0 + Duration::hours(1);
+
+  ASSERT_EQ(adm.decide(t0, deadline, Duration::zero()).verdict,
+            AdmissionVerdict::Admitted);
+  const auto d1 = adm.decide(t0, deadline, Duration::zero());
+  const auto d2 = adm.decide(t0, deadline, Duration::zero());
+  ASSERT_EQ(d1.verdict, AdmissionVerdict::Deferred);
+  ASSERT_EQ(d2.verdict, AdmissionVerdict::Deferred);
+  // The second deferral queues behind the first: its quote is later, so
+  // the two retries drain at the sustained rate instead of colliding.
+  EXPECT_GT(d2.retry_at, d1.retry_at);
+}
+
+TEST(BrokerAdmission, ShedsWhenDeadlineTooTight) {
+  AdmissionConfig cfg;
+  cfg.rate_per_second = 1.0;
+  cfg.burst = 1.0;
+  cfg.min_defer = Duration::seconds(30);
+  AdmissionController adm(cfg);
+  const TimePoint t0 = TimePoint::origin();
+
+  ASSERT_EQ(adm.decide(t0, t0 + Duration::hours(1), Duration::seconds(1))
+                .verdict,
+            AdmissionVerdict::Admitted);
+  // No token left; the wait plus the job itself overshoots the deadline.
+  const auto d =
+      adm.decide(t0, t0 + Duration::seconds(20), Duration::seconds(1));
+  EXPECT_EQ(d.verdict, AdmissionVerdict::Shed);
+  EXPECT_EQ(d.reason, ShedReason::DeadlineTooTight);
+}
+
+TEST(BrokerAdmission, ShedsWhenQueueFull) {
+  AdmissionConfig cfg;
+  cfg.rate_per_second = 1.0;
+  cfg.burst = 1.0;
+  cfg.max_deferred = 1;
+  AdmissionController adm(cfg);
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint deadline = t0 + Duration::hours(10);
+
+  ASSERT_EQ(adm.decide(t0, deadline, Duration::zero()).verdict,
+            AdmissionVerdict::Admitted);
+  ASSERT_EQ(adm.decide(t0, deadline, Duration::zero()).verdict,
+            AdmissionVerdict::Deferred);
+  const auto d = adm.decide(t0, deadline, Duration::zero());
+  EXPECT_EQ(d.verdict, AdmissionVerdict::Shed);
+  EXPECT_EQ(d.reason, ShedReason::QueueFull);
+  EXPECT_EQ(adm.stats().shed, 1u);
+}
+
+// ------------------------------------------------------------------- Batch
+
+TEST(BrokerBatch, FlushesAtTheAlignedInstant) {
+  sim::Simulator sim;
+  BatchDispatcher d(sim, {});
+  const TimePoint at = TimePoint::at(Duration::minutes(10));
+  std::vector<Duration> ran_at;
+  for (int i = 0; i < 3; ++i)
+    d.enqueue("g", at, [&](std::function<void()> done) {
+      ran_at.push_back(sim.now().since_origin());
+      done();
+    });
+  EXPECT_EQ(d.open_batches(), 1u);
+  sim.run();
+  ASSERT_EQ(ran_at.size(), 3u);
+  for (const Duration t : ran_at) EXPECT_EQ(t, Duration::minutes(10));
+  EXPECT_EQ(d.stats().batches, 1u);
+  EXPECT_EQ(d.stats().jobs_dispatched, 3u);
+  EXPECT_EQ(d.open_batches(), 0u);
+}
+
+TEST(BrokerBatch, SealedBatchKeepsItsFlushInstant) {
+  sim::Simulator sim;
+  BatchConfig cfg;
+  cfg.max_batch = 2;
+  BatchDispatcher d(sim, cfg);
+  const TimePoint at = TimePoint::at(Duration::minutes(10));
+  std::vector<Duration> ran_at;
+  for (int i = 0; i < 3; ++i)
+    d.enqueue("g", at, [&](std::function<void()> done) {
+      ran_at.push_back(sim.now().since_origin());
+      done();
+    });
+  sim.run();
+  // The first two sealed the batch, the third re-opened the key — but
+  // nothing dispatched before the price-aligned instant.
+  ASSERT_EQ(ran_at.size(), 3u);
+  for (const Duration t : ran_at) EXPECT_EQ(t, Duration::minutes(10));
+  EXPECT_EQ(d.stats().batches, 2u);
+  EXPECT_EQ(d.stats().sealed, 1u);
+}
+
+TEST(BrokerBatch, LanesChainOnCompletion) {
+  sim::Simulator sim;
+  BatchConfig cfg;
+  cfg.lanes = 1;
+  BatchDispatcher d(sim, cfg);
+  const TimePoint at = TimePoint::at(Duration::minutes(10));
+  std::vector<std::pair<int, Duration>> runs;
+  for (int i = 0; i < 3; ++i)
+    d.enqueue("g", at, [&, i](std::function<void()> done) {
+      runs.emplace_back(i, sim.now().since_origin());
+      // Each job takes one simulated second; the lane's successor must not
+      // start before it completed.
+      sim.schedule_after(Duration::seconds(1),
+                         [done = std::move(done)] { done(); });
+    });
+  sim.run();
+  ASSERT_EQ(runs.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(runs[static_cast<std::size_t>(i)].first, i);  // enqueue order
+    EXPECT_EQ(runs[static_cast<std::size_t>(i)].second,
+              Duration::minutes(10) + Duration::seconds(i));
+  }
+}
+
+// ------------------------------------------------------------------- Serve
+
+/// End-to-end fixture: a full world plus a broker fronting it.
+struct ServeFixture {
+  sim::Simulator sim;
+  serverless::Platform platform;
+  device::Device ue;
+  net::NetworkPath path;
+  core::OffloadController controller;
+  partition::MinCutPartitioner mincut;
+  Broker broker;
+
+  explicit ServeFixture(BrokerConfig cfg = {})
+      : platform(sim, {}),
+        ue(device::budget_phone()),
+        path(net::make_fixed_path(net::profile_wifi())),
+        controller(sim, platform, ue, path, {}),
+        broker(sim, platform, controller, mincut, std::move(cfg)) {}
+};
+
+TEST(BrokerServe, CompletesAndCachesAcrossUsers) {
+  ServeFixture fx;
+  const auto g = app::workloads::photo_backup();
+  std::vector<ServeOutcome> outcomes;
+  ServeRequest req;
+  req.app = &g;
+  fx.broker.serve(req, [&](const ServeOutcome& o) { outcomes.push_back(o); });
+  fx.broker.serve(req, [&](const ServeOutcome& o) { outcomes.push_back(o); });
+  fx.sim.run();
+
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const auto& o : outcomes) {
+    EXPECT_EQ(o.status, ServeStatus::Completed);
+    EXPECT_GT(o.finished, o.released);
+    EXPECT_FALSE(o.report.failed);
+  }
+  // Identical context: one request planned (and paid for it), the other
+  // hit the cache at hit_cost. Outcome order is not request order — the
+  // hit's decision is milliseconds shorter, so it can finish first.
+  const BrokerConfig& cfg = fx.broker.config();
+  const Duration miss_cost =
+      cfg.plan_cost_base +
+      cfg.plan_cost_per_component * static_cast<double>(g.component_count());
+  ASSERT_NE(outcomes[0].cache_hit, outcomes[1].cache_hit);
+  const ServeOutcome& hit = outcomes[0].cache_hit ? outcomes[0] : outcomes[1];
+  const ServeOutcome& miss = outcomes[0].cache_hit ? outcomes[1] : outcomes[0];
+  EXPECT_EQ(miss.decision_latency, miss_cost);
+  EXPECT_EQ(hit.decision_latency, cfg.hit_cost);
+  EXPECT_EQ(fx.broker.stats().completed, 2u);
+  EXPECT_EQ(fx.broker.cache().stats().hits, 1u);
+}
+
+TEST(BrokerServe, NoCacheModeAlwaysReplans) {
+  BrokerConfig cfg;
+  cfg.cache_enabled = false;
+  cfg.batching_enabled = false;
+  cfg.defer.policy = sched::Policy::Immediate;
+  ServeFixture fx(cfg);
+  const auto g = app::workloads::photo_backup();
+  std::vector<ServeOutcome> outcomes;
+  ServeRequest req;
+  req.app = &g;
+  fx.broker.serve(req, [&](const ServeOutcome& o) { outcomes.push_back(o); });
+  fx.broker.serve(req, [&](const ServeOutcome& o) { outcomes.push_back(o); });
+  fx.sim.run();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_FALSE(outcomes[0].cache_hit);
+  EXPECT_FALSE(outcomes[1].cache_hit);
+  EXPECT_EQ(fx.broker.cache().stats().hits + fx.broker.cache().stats().misses,
+            0u);
+}
+
+TEST(BrokerServe, ShedOutcomeIsDelivered) {
+  BrokerConfig cfg;
+  cfg.admission.rate_per_second = 1.0;
+  cfg.admission.burst = 1.0;
+  cfg.admission.min_defer = Duration::minutes(5);
+  ServeFixture fx(cfg);
+  const auto g = app::workloads::photo_backup();
+  std::vector<ServeOutcome> outcomes;
+  ServeRequest req;
+  req.app = &g;
+  fx.broker.serve(req, [&](const ServeOutcome& o) { outcomes.push_back(o); });
+  // Second request: no token left, and minutes of slack cannot absorb the
+  // five-minute deferral floor.
+  ServeRequest tight = req;
+  tight.slack = Duration::minutes(2);
+  fx.broker.serve(tight, [&](const ServeOutcome& o) { outcomes.push_back(o); });
+  fx.sim.run();
+
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].status, ServeStatus::Shed);  // shed fires first
+  EXPECT_EQ(outcomes[0].shed_reason, ShedReason::DeadlineTooTight);
+  EXPECT_EQ(outcomes[1].status, ServeStatus::Completed);
+  EXPECT_EQ(fx.broker.stats().shed, 1u);
+}
+
+// ------------------------------------------------------------ Determinism
+
+/// A miniature F12 shard: one broker serving a small random population.
+struct FleetOut {
+  obs::MetricsRegistry metrics;
+  obs::JsonlTraceWriter trace;
+};
+
+FleetOut run_fleet(std::size_t threads) {
+  fleet::Replicator rep(99, threads);
+  return rep.reduce(
+      8, FleetOut{},
+      [](fleet::ShardContext& ctx) {
+        FleetOut out;
+        ServeFixture fx;
+        fx.broker.attach_observer(&out.trace, &out.metrics);
+        const auto graphs = app::workloads::all();
+        for (int u = 0; u < 24; ++u) {
+          const auto wl = static_cast<std::size_t>(
+              ctx.rng.uniform_int(0, static_cast<std::int64_t>(graphs.size()) - 1));
+          const double bw = std::exp2(ctx.rng.uniform(-2.0, 2.0));
+          const double batt = ctx.rng.uniform(0.05, 1.0);
+          const auto at = Duration::seconds(ctx.rng.uniform_int(0, 60));
+          fx.sim.schedule_at(TimePoint::at(at), [&fx, &graphs, wl, bw, batt] {
+            ServeRequest req;
+            req.app = &graphs[wl];
+            req.battery = batt;
+            req.bandwidth_scale = bw;
+            fx.broker.serve(req);
+          });
+        }
+        fx.sim.run();
+        return out;
+      },
+      [](FleetOut& acc, FleetOut&& shard, std::size_t) {
+        acc.metrics.merge_from(shard.metrics);
+        acc.trace.append_from(shard.trace);
+      });
+}
+
+TEST(BrokerDeterminism, FleetMergeByteIdenticalAcrossThreads) {
+  const FleetOut one = run_fleet(1);
+  const FleetOut eight = run_fleet(8);
+  EXPECT_FALSE(one.trace.str().empty());
+  EXPECT_EQ(one.metrics.to_csv(), eight.metrics.to_csv());
+  EXPECT_EQ(one.trace.str(), eight.trace.str());
+}
+
+}  // namespace
+}  // namespace ntco::broker

@@ -175,6 +175,42 @@ TEST(Execute, MismatchedPlanRejected) {
   EXPECT_THROW((void)fx.controller.execute(plan, other), ContractViolation);
 }
 
+// Regression: prepare() used to register a brand-new function set on every
+// call, so replanning the same app double-billed its cold starts and grew
+// the platform without bound. Deployment is now idempotent per plan
+// fingerprint.
+TEST(Prepare, IdenticalPlanReusesDeployedFunctions) {
+  Fixture fx;
+  const auto g = app::workloads::ml_batch_training();
+  const partition::MinCutPartitioner mincut;
+
+  const auto first = fx.controller.prepare(g, mincut);
+  const std::size_t deployed = fx.platform.function_count();
+  (void)fx.controller.execute(first, g);
+  const std::uint64_t colds_after_first = fx.platform.stats().cold_starts;
+  EXPECT_GT(colds_after_first, 0u);
+
+  const auto second = fx.controller.prepare(g, mincut);
+  EXPECT_EQ(fx.platform.function_count(), deployed);
+  EXPECT_EQ(second.function_of, first.function_of);
+
+  // The reused functions keep their warm instances: a prompt second run
+  // pays no cold starts (previously every replan cold-started afresh).
+  (void)fx.controller.execute(second, g);
+  EXPECT_EQ(fx.platform.stats().cold_starts, colds_after_first);
+}
+
+// A different placement for the same app is a different fingerprint and
+// must deploy its own functions rather than reuse the memo.
+TEST(Prepare, DifferentPartitionDeploysFresh) {
+  Fixture fx;
+  const auto g = app::workloads::ml_batch_training();
+  (void)fx.controller.prepare(g, partition::MinCutPartitioner{});
+  const std::size_t after_mincut = fx.platform.function_count();
+  (void)fx.controller.prepare(g, partition::RemoteAllPartitioner{});
+  EXPECT_GT(fx.platform.function_count(), after_mincut);
+}
+
 TEST(Controller, BadConfigRejected) {
   sim::Simulator s;
   serverless::Platform platform(s, {});

@@ -11,10 +11,11 @@
 #   4. run the unit/integration suite (ctest; includes LintClean again so
 #      a local `ctest` run gets the same gate)
 #   5. prove the fleet determinism contract end-to-end: bench_f5_scale_users
-#      must emit byte-identical stdout and NTCO_BENCH_OUT artifacts with
-#      NTCO_THREADS=1 and NTCO_THREADS=8
-#   6. rebuild under ThreadSanitizer and rerun the fleet suites (the only
-#      concurrent code in the repo) — ctest -R '^Fleet'
+#      and bench_f12_broker must emit byte-identical stdout and
+#      NTCO_BENCH_OUT artifacts with NTCO_THREADS=1 and NTCO_THREADS=8
+#   6. rebuild under ThreadSanitizer and rerun the fleet + broker suites
+#      (everything that exercises the worker pool) — ctest -R
+#      '^Fleet|^Broker'
 #   7. rebuild under ASan + UBSan and rerun the whole suite
 #
 #   tools/ci.sh [build-dir]             (default: build-ci)
@@ -46,33 +47,35 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== [4/7] unit + integration tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== [5/7] fleet determinism: F5 artifacts at NTCO_THREADS=1 vs 8 =="
-DET_DIR="$BUILD_DIR/fleet-determinism"
-rm -rf "$DET_DIR"
-mkdir -p "$DET_DIR/t1" "$DET_DIR/t8"
-NTCO_THREADS=1 NTCO_BENCH_OUT="$DET_DIR/t1" \
-  "$BUILD_DIR/bench/bench_f5_scale_users" > "$DET_DIR/t1/stdout.txt"
-NTCO_THREADS=8 NTCO_BENCH_OUT="$DET_DIR/t8" \
-  "$BUILD_DIR/bench/bench_f5_scale_users" > "$DET_DIR/t8/stdout.txt"
-if ! diff -r "$DET_DIR/t1" "$DET_DIR/t8"; then
-  echo "FAIL: F5 output differs between NTCO_THREADS=1 and 8" >&2
-  exit 1
-fi
-echo "byte-identical across $(ls "$DET_DIR/t1" | wc -l) artifacts"
+echo "== [5/7] fleet determinism: F5 + F12 artifacts at NTCO_THREADS=1 vs 8 =="
+for det_bench in bench_f5_scale_users bench_f12_broker; do
+  DET_DIR="$BUILD_DIR/fleet-determinism/$det_bench"
+  rm -rf "$DET_DIR"
+  mkdir -p "$DET_DIR/t1" "$DET_DIR/t8"
+  NTCO_THREADS=1 NTCO_BENCH_OUT="$DET_DIR/t1" \
+    "$BUILD_DIR/bench/$det_bench" > "$DET_DIR/t1/stdout.txt" 2>/dev/null
+  NTCO_THREADS=8 NTCO_BENCH_OUT="$DET_DIR/t8" \
+    "$BUILD_DIR/bench/$det_bench" > "$DET_DIR/t8/stdout.txt" 2>/dev/null
+  if ! diff -r "$DET_DIR/t1" "$DET_DIR/t8"; then
+    echo "FAIL: $det_bench output differs between NTCO_THREADS=1 and 8" >&2
+    exit 1
+  fi
+  echo "$det_bench: byte-identical across $(ls "$DET_DIR/t1" | wc -l) artifacts"
+done
 
 if [ "${NTCO_CI_SKIP_SANITIZERS:-0}" = "1" ]; then
   echo "== sanitizer stages skipped (NTCO_CI_SKIP_SANITIZERS=1) =="
   exit 0
 fi
 
-echo "== [6/7] ThreadSanitizer: fleet suites =="
+echo "== [6/7] ThreadSanitizer: fleet + broker suites =="
 cmake -B "$BUILD_DIR-tsan" -S "$SRC_DIR" \
   -DNTCO_SANITIZE=thread \
   -DNTCO_BUILD_BENCHMARKS=OFF -DNTCO_BUILD_EXAMPLES=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR-tsan" --target fleet_test -j "$JOBS"
+cmake --build "$BUILD_DIR-tsan" --target fleet_test broker_test -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure -R '^Fleet'
+  ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure -R '^Fleet|^Broker'
 
 echo "== [7/7] ASan + UBSan: full suite =="
 "$SRC_DIR/tools/sanitize.sh" address "$BUILD_DIR-asan"
