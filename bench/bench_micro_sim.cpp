@@ -1,10 +1,21 @@
 // Micro-benchmark (google-benchmark): event-loop throughput of the
-// simulation kernel. step() moves the handler out of the queue instead of
-// copying it, which matters once a handler's captures exceed the
-// std::function small-buffer (BM_ScheduleAndRun/big), and tracing must cost
-// nothing when no sink is attached (BM_ScheduleAndRun vs .../traced).
+// simulation kernel. Covers the three hot verbs — schedule, fire, cancel —
+// separately and in the mixed schedule-fire-cancel churn that dominates
+// timer-heavy simulations (keep-alive expiries, batch flushes, retries).
+// BM_ScheduleFireCancel is the loop tools/ci.sh gates against the
+// checked-in BENCH_micro_sim.json baseline (>10% regression fails).
+//
+// Unlike the other microbenches this binary carries its own main: when
+// NTCO_BENCH_OUT names a directory it mirrors every result into
+// <dir>/BENCH_micro_sim.json (deterministic field order) so the perf
+// trajectory is machine-recorded alongside the experiment artifacts.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "ntco/obs/trace.hpp"
 #include "ntco/sim/simulator.hpp"
@@ -13,8 +24,8 @@ namespace {
 
 using namespace ntco;
 
-// Small capture: fits the libstdc++ std::function small-buffer, so the
-// old copy-out path was already cheap.
+// Small capture: fits the handler small-buffer, so scheduling never
+// allocates for the common [&]-style lambda.
 void BM_ScheduleAndRun_Small(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   for (auto _ : state) {
@@ -32,8 +43,7 @@ void BM_ScheduleAndRun_Small(benchmark::State& state) {
 BENCHMARK(BM_ScheduleAndRun_Small)->Arg(1024)->Arg(8192);
 
 // Big capture: 64 bytes of payload defeats the small-buffer optimisation,
-// so a copying step() would heap-allocate per event; the move-out path
-// only swaps pointers.
+// so this pins the cost of the heap-fallback path per event.
 void BM_ScheduleAndRun_Big(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   struct Payload {
@@ -77,4 +87,153 @@ void BM_ScheduleAndRun_Traced(benchmark::State& state) {
 }
 BENCHMARK(BM_ScheduleAndRun_Traced)->Arg(1024)->Arg(8192);
 
+// The gated loop: per event, one schedule; half the population is then
+// cancelled before firing and the rest runs to completion — the mix a
+// timer-heavy simulation (keep-alives, retries, batch flushes) produces.
+// Items processed counts scheduled events, so items/s compares across
+// kernels regardless of the cancel ratio.
+void BM_ScheduleFireCancel(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  std::vector<sim::EventId> ids;
+  ids.reserve(n);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t acc = 0;
+    ids.clear();
+    for (std::uint64_t i = 0; i < n; ++i)
+      ids.push_back(sim.schedule_at(
+          TimePoint::at(Duration::micros(static_cast<std::int64_t>(i))),
+          [&acc] { ++acc; }));
+    for (std::uint64_t i = 0; i < n; i += 2) sim.cancel(ids[i]);
+    sim.run();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ScheduleFireCancel)->Arg(1024)->Arg(8192);
+
+// Timer churn: a fixed population of pending timeouts, each repeatedly
+// cancelled and re-armed (the reset-the-timeout pattern of keep-alive and
+// retry timers), then drained. Cancel cost dominates; items counts
+// cancel+reschedule pairs.
+void BM_CancelReschedule(benchmark::State& state) {
+  constexpr std::uint64_t kTimers = 256;
+  const auto rounds = static_cast<std::uint64_t>(state.range(0));
+  std::vector<sim::EventId> ids(kTimers);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t acc = 0;
+    std::int64_t t = 1'000'000;
+    for (std::uint64_t i = 0; i < kTimers; ++i)
+      ids[i] = sim.schedule_at(TimePoint::at(Duration::micros(t + static_cast<std::int64_t>(i))),
+                               [&acc] { ++acc; });
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      const std::uint64_t i = r % kTimers;
+      sim.cancel(ids[i]);
+      ++t;
+      ids[i] = sim.schedule_at(
+          TimePoint::at(Duration::micros(t + static_cast<std::int64_t>(i))),
+          [&acc] { ++acc; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds) *
+                          state.iterations());
+}
+BENCHMARK(BM_CancelReschedule)->Arg(4096)->Arg(32768);
+
+// Interleaved handler-driven scheduling: every fired event schedules its
+// successor (the chain shape ServerPool and the platform keep-alive path
+// produce), so schedule and fire alternate instead of batching.
+void BM_FireChain(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t fired = 0;
+    struct Chain {
+      sim::Simulator& sim;
+      std::uint64_t& fired;
+      std::uint64_t remaining;
+      void operator()() {
+        ++fired;
+        if (remaining > 0)
+          sim.schedule_after(Duration::micros(1),
+                             Chain{sim, fired, remaining - 1});
+      }
+    };
+    sim.schedule_after(Duration::micros(1), Chain{sim, fired, n - 1});
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_FireChain)->Arg(8192);
+
+// ---------------------------------------------------------------------------
+// Reporting: forward everything to the console reporter and, when
+// NTCO_BENCH_OUT is set, mirror (name, items/s, ns/item) into
+// <dir>/BENCH_micro_sim.json. The JSON is written by us (not
+// google-benchmark's --benchmark_out) so the schema stays stable and the
+// ci.sh regression guard can parse it with POSIX awk.
+
+struct CapturedRun {
+  std::string name;
+  double items_per_second = 0.0;
+  double ns_per_item = 0.0;
+};
+
+class MirroringReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      CapturedRun c;
+      c.name = run.benchmark_name();
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        c.items_per_second = static_cast<double>(it->second);
+        if (c.items_per_second > 0.0) c.ns_per_item = 1e9 / c.items_per_second;
+      }
+      captured.push_back(std::move(c));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<CapturedRun> captured;
+};
+
+bool write_json(const std::string& path,
+                const std::vector<CapturedRun>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"micro_sim\",\n  \"results\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i)
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"items_per_second\": %.6g, "
+                 "\"ns_per_item\": %.6g}%s\n",
+                 runs[i].name.c_str(), runs[i].items_per_second,
+                 runs[i].ns_per_item, i + 1 < runs.size() ? "," : "");
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  MirroringReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (const char* dir = std::getenv("NTCO_BENCH_OUT");
+      dir != nullptr && dir[0] != '\0') {
+    const std::string path = std::string(dir) + "/BENCH_micro_sim.json";
+    if (!write_json(path, reporter.captured)) {
+      std::fprintf(stderr, "ntco: cannot write %s\n", path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

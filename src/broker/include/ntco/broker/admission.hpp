@@ -20,8 +20,11 @@
 ///     waiting, so deferred requests drain at the sustained rate instead
 ///     of retrying in lockstep;
 ///   - **shed** with an explicit reason when it cannot — either the
-///     deadline is too tight to absorb the wait (DeadlineTooTight) or the
-///     deferral queue is already at its bound (QueueFull).
+///     deferral queue is already at its bound (QueueFull) or the deadline
+///     is too tight to absorb the wait (DeadlineTooTight). QueueFull is
+///     checked first: a full queue sheds regardless of slack, so a
+///     request that hits both conditions reports the capacity problem,
+///     not the deadline.
 /// Shedding is loud by design: a silent drop would read as a simulator bug,
 /// an explicit reason is an SLO signal.
 ///

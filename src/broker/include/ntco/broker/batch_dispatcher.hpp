@@ -88,7 +88,7 @@ class BatchDispatcher {
   };
   struct Pending {
     std::vector<Job> jobs;
-    sim::EventId flush_event = 0;
+    sim::EventId flush_event = sim::kNoEvent;
   };
 
   void flush(const Key& key);

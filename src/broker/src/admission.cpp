@@ -52,11 +52,16 @@ AdmissionDecision AdmissionController::decide(TimePoint now,
       Duration::from_seconds((backlog + deficit) / cfg_.rate_per_second));
   const TimePoint retry_at = now + wait;
 
+  // QueueFull outranks DeadlineTooTight: a full deferral queue sheds the
+  // request no matter how much slack it has, and the quoted retry_at is
+  // derived from a backlog the request cannot even join — attributing the
+  // shed to the client's deadline would misreport capacity exhaustion as
+  // a client-side problem (and steer SLO dashboards at the wrong knob).
   ShedReason reason = ShedReason::None;
-  if (retry_at + est > deadline) {
-    reason = ShedReason::DeadlineTooTight;
-  } else if (stats_.deferred_outstanding >= cfg_.max_deferred) {
+  if (stats_.deferred_outstanding >= cfg_.max_deferred) {
     reason = ShedReason::QueueFull;
+  } else if (retry_at + est > deadline) {
+    reason = ShedReason::DeadlineTooTight;
   }
 
   if (reason != ShedReason::None) {

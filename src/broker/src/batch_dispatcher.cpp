@@ -40,11 +40,14 @@ void BatchDispatcher::enqueue(const std::string& group, TimePoint flush_at,
     // Seal: the batch stops growing but still flushes at its aligned
     // instant — dispatching now would leave the price window the instant
     // was chosen for. Later arrivals re-open the key with a fresh event.
-    auto sealed = std::make_shared<std::vector<Job>>(std::move(batch.jobs));
+    // The jobs move straight into the handler: InlineHandler is move-only,
+    // so the shared_ptr hop std::function's copyability used to force is
+    // gone.
+    std::vector<Job> sealed = std::move(batch.jobs);
     sim_.cancel(batch.flush_event);
     pending_.erase(it);
-    sim_.schedule_at(at, [this, group, sealed] {
-      release(group, std::move(*sealed), /*sealed=*/true);
+    sim_.schedule_at(at, [this, group, jobs = std::move(sealed)]() mutable {
+      release(group, std::move(jobs), /*sealed=*/true);
     });
   }
 }

@@ -1,0 +1,182 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "ntco/common/contracts.hpp"
+
+/// \file inline_function.hpp
+/// Small-buffer move-only callable: `std::function` without the copy
+/// requirement and with a caller-chosen inline capacity.
+///
+/// The simulation kernel schedules millions of handlers per experiment;
+/// `std::function`'s small buffer (16 bytes on libstdc++) is too small for
+/// the typical capture set (`this` + a shared_ptr + an id), so almost every
+/// schedule paid a heap allocation. `InlineFunction<void(), 48>` stores any
+/// callable of at most `Capacity` bytes (and pointer alignment, and a
+/// non-throwing move) directly in the object; larger, over-aligned, or
+/// throwing-move callables fall back to a single heap allocation. Because the wrapper is
+/// move-only it also accepts move-only captures (`std::unique_ptr`,
+/// moved-in `std::function`s), which `std::function` rejects outright.
+///
+/// Dispatch is one vtable pointer per object (invoke / relocate / destroy),
+/// so an engaged check is a null test and a moved-from object is empty.
+
+namespace ntco {
+
+template <class Signature, std::size_t Capacity = 48>
+class InlineFunction;  // primary template: only R(Args...) is specialised
+
+template <class R, class... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+  static_assert(Capacity >= sizeof(void*),
+                "capacity must at least hold the heap-fallback pointer");
+
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}
+
+  /// Wraps any callable invocable as R(Args...). Callables that fit the
+  /// inline buffer (size, alignment, nothrow-move) never allocate.
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<
+                !std::is_same_v<D, InlineFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(bugprone-forwarding-reference-overload)
+    if constexpr (stores_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &kVTable<D, /*Inline=*/true>;
+    } else {
+      using Ptr = D*;
+      ::new (static_cast<void*>(buf_)) Ptr(new D(std::forward<F>(f)));
+      vt_ = &kVTable<D, /*Inline=*/false>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& o) noexcept : vt_(o.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(o.buf_, buf_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      vt_ = o.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(o.buf_, buf_);
+        o.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  ~InlineFunction() { reset(); }
+
+  /// Destroys the stored callable (and its captures) immediately; the
+  /// object becomes empty. Used by the kernel to release a cancelled
+  /// handler's resources before its heap slot drains.
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vt_ != nullptr;
+  }
+  friend bool operator==(const InlineFunction& f, std::nullptr_t) noexcept {
+    return f.vt_ == nullptr;
+  }
+
+  /// True when the stored callable lives in the inline buffer (test hook
+  /// for the no-allocation contract). Pre: engaged.
+  [[nodiscard]] bool is_inline() const {
+    NTCO_EXPECTS(vt_ != nullptr);
+    return vt_->is_inline;
+  }
+
+  /// Whether a callable of type D would be stored inline (no allocation).
+  /// Inline storage is pointer-aligned (keeps sizeof tight for arena
+  /// embedding); over-aligned callables take the heap fallback, whose
+  /// operator new honours any extended alignment.
+  template <class D>
+  [[nodiscard]] static constexpr bool stores_inline() {
+    return sizeof(D) <= Capacity && alignof(D) <= alignof(void*) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  [[nodiscard]] static constexpr std::size_t capacity() { return Capacity; }
+
+  R operator()(Args... args) {
+    NTCO_EXPECTS(vt_ != nullptr);
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(unsigned char*, Args&&...);
+    /// Move-constructs dst's payload from src's and destroys src's. For
+    /// heap-stored callables this is a pointer copy, hence noexcept for
+    /// every storage mode (what makes the wrapper's moves noexcept).
+    void (*relocate)(unsigned char* src, unsigned char* dst) noexcept;
+    void (*destroy)(unsigned char*) noexcept;
+    bool is_inline;
+  };
+
+  template <class D, bool Inline>
+  struct Ops;
+
+  template <class D>
+  struct Ops<D, true> {
+    static D* get(unsigned char* b) {
+      return std::launder(reinterpret_cast<D*>(b));
+    }
+    static R invoke(unsigned char* b, Args&&... args) {
+      return (*get(b))(std::forward<Args>(args)...);
+    }
+    static void relocate(unsigned char* src, unsigned char* dst) noexcept {
+      ::new (static_cast<void*>(dst)) D(std::move(*get(src)));
+      get(src)->~D();
+    }
+    static void destroy(unsigned char* b) noexcept { get(b)->~D(); }
+  };
+
+  template <class D>
+  struct Ops<D, false> {
+    using Ptr = D*;
+    static Ptr* get(unsigned char* b) {
+      return std::launder(reinterpret_cast<Ptr*>(b));
+    }
+    static R invoke(unsigned char* b, Args&&... args) {
+      return (**get(b))(std::forward<Args>(args)...);
+    }
+    static void relocate(unsigned char* src, unsigned char* dst) noexcept {
+      // Pointer relocation is a copy; the pointer itself needs no cleanup.
+      ::new (static_cast<void*>(dst)) Ptr(*get(src));
+    }
+    static void destroy(unsigned char* b) noexcept { delete *get(b); }
+  };
+
+  template <class D, bool Inline>
+  static constexpr VTable kVTable{&Ops<D, Inline>::invoke,
+                                  &Ops<D, Inline>::relocate,
+                                  &Ops<D, Inline>::destroy, Inline};
+
+  alignas(void*) unsigned char buf_[Capacity];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace ntco

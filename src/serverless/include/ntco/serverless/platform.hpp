@@ -220,7 +220,7 @@ class Platform {
  private:
   struct IdleInstance {
     std::uint64_t instance_id;
-    sim::EventId expiry_event;  ///< 0-equivalent for provisioned (none)
+    sim::EventId expiry_event;  ///< sim::kNoEvent for provisioned (none)
     bool provisioned;
   };
 

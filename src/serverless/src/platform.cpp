@@ -72,7 +72,7 @@ void Platform::set_provisioned_concurrency(FunctionId id, std::size_t n) {
   fn.provisioned_target = n;
   // Grow: create idle provisioned instances.
   while (fn.provisioned_total < n) {
-    fn.idle.push_back(IdleInstance{next_instance_++, 0, true});
+    fn.idle.push_back(IdleInstance{next_instance_++, sim::kNoEvent, true});
     ++fn.provisioned_total;
   }
   // Shrink: retire idle provisioned instances now; busy ones retire on
@@ -327,7 +327,7 @@ void Platform::finish_instance(FunctionId fn_id, bool provisioned) {
     if (fn.provisioned_total > fn.provisioned_target) {
       --fn.provisioned_total;  // retire excess provisioned capacity
     } else {
-      fn.idle.push_back(IdleInstance{next_instance_++, 0, true});
+      fn.idle.push_back(IdleInstance{next_instance_++, sim::kNoEvent, true});
     }
     return;
   }

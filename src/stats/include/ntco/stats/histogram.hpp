@@ -67,12 +67,17 @@ class Histogram {
   }
 
   /// Fraction of in-range mass at or below the upper edge of bin i.
+  /// Under- and overflow observations are excluded from both numerator and
+  /// denominator: the CDF is over the binned range [lo, hi) only, so the
+  /// last bin's value is exactly 1 whenever any observation landed in
+  /// range. Returns 0 when none did.
   [[nodiscard]] double cdf_at_bin(std::size_t i) const {
     NTCO_EXPECTS(i < counts_.size());
-    std::uint64_t cum = underflow_;
+    const std::uint64_t in_range = total_ - underflow_ - overflow_;
+    if (in_range == 0) return 0.0;
+    std::uint64_t cum = 0;
     for (std::size_t k = 0; k <= i; ++k) cum += counts_[k];
-    return total_ == 0 ? 0.0
-                       : static_cast<double>(cum) / static_cast<double>(total_);
+    return static_cast<double>(cum) / static_cast<double>(in_range);
   }
 
   /// Multi-line ASCII bar rendering (one row per bin), for logs.

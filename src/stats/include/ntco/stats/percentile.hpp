@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <vector>
 
 #include "ntco/common/contracts.hpp"
@@ -56,8 +57,20 @@ class PercentileSample {
   /// Merges another sample's observations (parallel-reduction counterpart
   /// of Accumulator::merge, used by the fleet to combine per-shard
   /// samples). Quantiles of the result are independent of merge order:
-  /// the pooled multiset is what gets sorted.
+  /// the pooled multiset is what gets sorted. Self-merge doubles every
+  /// observation.
   void merge(const PercentileSample& o) {
+    if (&o == this) {
+      // vector::insert from the vector's own range is UB once growth
+      // reallocates out from under the source iterators; duplicate via
+      // resize + copy into the new tail instead.
+      const std::size_t n = data_.size();
+      data_.resize(2 * n);
+      std::copy_n(data_.begin(), n,
+                  data_.begin() + static_cast<std::ptrdiff_t>(n));
+      sorted_ = false;
+      return;
+    }
     data_.insert(data_.end(), o.data_.begin(), o.data_.end());
     sorted_ = false;
   }

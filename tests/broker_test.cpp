@@ -30,7 +30,8 @@ DecisionContext ctx_with(std::string workload, double mbps,
                          double battery = 1.0) {
   DecisionContext ctx;
   ctx.workload = std::move(workload);
-  ctx.uplink = DataRate::megabits_per_second(mbps);
+  ctx.uplink = DataRate::kilobits_per_second(
+      static_cast<std::uint64_t>(std::llround(mbps * 1000.0)));
   ctx.rtt = Duration::millis(20);
   ctx.battery = battery;
   ctx.hour = 10;
@@ -199,6 +200,61 @@ TEST(BrokerAdmission, ShedsWhenQueueFull) {
   EXPECT_EQ(d.verdict, AdmissionVerdict::Shed);
   EXPECT_EQ(d.reason, ShedReason::QueueFull);
   EXPECT_EQ(adm.stats().shed, 1u);
+}
+
+TEST(BrokerAdmission, QueueFullOutranksDeadlineTooTight) {
+  // A request that hits BOTH shed conditions must report QueueFull: a full
+  // deferral queue sheds regardless of slack, and blaming the client's
+  // deadline would misreport capacity exhaustion. (The old precedence
+  // checked the deadline first.)
+  AdmissionConfig cfg;
+  cfg.rate_per_second = 1.0;
+  cfg.burst = 1.0;
+  cfg.max_deferred = 1;
+  cfg.min_defer = Duration::seconds(30);
+  AdmissionController adm(cfg);
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint far = t0 + Duration::hours(10);
+
+  ASSERT_EQ(adm.decide(t0, far, Duration::zero()).verdict,
+            AdmissionVerdict::Admitted);
+  ASSERT_EQ(adm.decide(t0, far, Duration::zero()).verdict,
+            AdmissionVerdict::Deferred);
+  // Queue now full AND this deadline cannot absorb the 30 s min wait.
+  const auto d =
+      adm.decide(t0, t0 + Duration::seconds(5), Duration::seconds(1));
+  EXPECT_EQ(d.verdict, AdmissionVerdict::Shed);
+  EXPECT_EQ(d.reason, ShedReason::QueueFull);
+}
+
+TEST(BrokerAdmission, QueueBoundaryFreesExactlyOneSlotOnRetryResolved) {
+  AdmissionConfig cfg;
+  cfg.rate_per_second = 1.0;
+  cfg.burst = 1.0;
+  cfg.max_deferred = 2;
+  AdmissionController adm(cfg);
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint deadline = t0 + Duration::hours(10);
+
+  ASSERT_EQ(adm.decide(t0, deadline, Duration::zero()).verdict,
+            AdmissionVerdict::Admitted);
+  // Fill the deferral queue to its bound exactly.
+  ASSERT_EQ(adm.decide(t0, deadline, Duration::zero()).verdict,
+            AdmissionVerdict::Deferred);
+  ASSERT_EQ(adm.decide(t0, deadline, Duration::zero()).verdict,
+            AdmissionVerdict::Deferred);
+  EXPECT_EQ(adm.stats().deferred_outstanding, 2u);
+  EXPECT_EQ(adm.decide(t0, deadline, Duration::zero()).reason,
+            ShedReason::QueueFull);
+  // One retry resolves; exactly one deferral slot reopens.
+  adm.retry_resolved();
+  EXPECT_EQ(adm.stats().deferred_outstanding, 1u);
+  ASSERT_EQ(adm.decide(t0, deadline, Duration::zero()).verdict,
+            AdmissionVerdict::Deferred);
+  EXPECT_EQ(adm.decide(t0, deadline, Duration::zero()).reason,
+            ShedReason::QueueFull);
+  EXPECT_EQ(adm.stats().deferred_outstanding, 2u);
+  EXPECT_EQ(adm.stats().shed, 2u);
 }
 
 // ------------------------------------------------------------------- Batch

@@ -1,0 +1,122 @@
+#include "ntco/common/inline_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "ntco/common/error.hpp"
+
+namespace ntco {
+namespace {
+
+using Fn = InlineFunction<int(int), 48>;
+
+TEST(InlineFunction, DefaultIsEmptyAndComparesToNullptr) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_TRUE(f == nullptr);
+  EXPECT_FALSE(f != nullptr);
+  Fn g = nullptr;
+  EXPECT_TRUE(g == nullptr);
+}
+
+TEST(InlineFunction, InvokesStoredCallable) {
+  Fn f = [](int x) { return x + 1; };
+  EXPECT_TRUE(f != nullptr);
+  EXPECT_EQ(f(41), 42);
+}
+
+TEST(InlineFunction, SmallCaptureIsStoredInline) {
+  int base = 40;
+  Fn f = [&base](int x) { return base + x; };
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(2), 42);
+}
+
+TEST(InlineFunction, OversizedCaptureFallsBackToHeap) {
+  struct Big {
+    unsigned char bytes[64];
+  };
+  Big big{};
+  big.bytes[0] = 9;
+  Fn f = [big](int x) { return big.bytes[0] + x; };
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(1), 10);
+}
+
+TEST(InlineFunction, MoveTransfersOwnershipAndEmptiesSource) {
+  Fn f = [](int x) { return x * 2; };
+  Fn g = std::move(f);
+  EXPECT_TRUE(f == nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(g(21), 42);
+  Fn h;
+  h = std::move(g);
+  EXPECT_TRUE(g == nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(h(21), 42);
+}
+
+TEST(InlineFunction, MoveOnlyCapturesAreAccepted) {
+  auto p = std::make_unique<int>(40);
+  InlineFunction<int(), 48> f = [p = std::move(p)] { return *p + 2; };
+  EXPECT_EQ(f(), 42);
+  InlineFunction<int(), 48> g = std::move(f);
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(InlineFunction, ResetDestroysCapturesImmediately) {
+  auto token = std::make_shared<int>(1);
+  InlineFunction<int(), 48> f = [token] { return *token; };
+  EXPECT_EQ(token.use_count(), 2);
+  f.reset();
+  EXPECT_EQ(token.use_count(), 1);
+  EXPECT_TRUE(f == nullptr);
+}
+
+TEST(InlineFunction, HeapStoredCapturesAreDestroyedOnce) {
+  struct Big {
+    std::shared_ptr<int> token;
+    unsigned char pad[64];
+  };
+  auto token = std::make_shared<int>(5);
+  {
+    InlineFunction<int(), 48> f = [big = Big{token, {}}] {
+      return *big.token;
+    };
+    EXPECT_FALSE(f.is_inline());
+    EXPECT_EQ(token.use_count(), 2);
+    EXPECT_EQ(f(), 5);
+    InlineFunction<int(), 48> g = std::move(f);
+    EXPECT_EQ(token.use_count(), 2);  // relocation is a pointer move
+    EXPECT_EQ(g(), 5);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineFunction, ThrowingMoveTypesGoToHeapSoWrapperMovesStayNoexcept) {
+  struct ThrowingMove {
+    ThrowingMove() = default;
+    ThrowingMove(const ThrowingMove&) = default;
+    ThrowingMove(ThrowingMove&&) noexcept(false) {}
+    int operator()(int x) const { return x; }
+  };
+  static_assert(!Fn::stores_inline<ThrowingMove>());
+  static_assert(std::is_nothrow_move_constructible_v<Fn>);
+  Fn f = ThrowingMove{};
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(3), 3);
+}
+
+TEST(InlineFunction, NullptrAssignmentClears) {
+  Fn f = [](int x) { return x; };
+  f = nullptr;
+  EXPECT_TRUE(f == nullptr);
+}
+
+TEST(InlineFunction, InvokingEmptyViolatesContract) {
+  Fn f;
+  EXPECT_THROW((void)f(1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ntco

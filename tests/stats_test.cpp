@@ -151,6 +151,34 @@ TEST(PercentileSample, MergedQuantilesAreOrderIndependent) {
     EXPECT_DOUBLE_EQ(left.quantile(q), right.quantile(q)) << "q=" << q;
 }
 
+TEST(PercentileSample, SelfMergeDoublesEveryObservation) {
+  // merge(*this) used to insert the vector into itself, which is UB the
+  // moment growth reallocates out from under the source iterators.
+  PercentileSample s;
+  for (double x : {3.0, 1.0, 2.0}) s.add(x);
+  s.merge(s);
+  EXPECT_EQ(s.count(), 6u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  // Quantiles are those of the doubled multiset {1,1,2,2,3,3}.
+  EXPECT_DOUBLE_EQ(s.quantile(0.2), 1.0);
+}
+
+TEST(PercentileSample, SelfMergeAfterSortedQueryStaysCorrect) {
+  // The duplicated tail breaks sortedness (1,2 -> 1,2,1,2); a quantile
+  // right after a self-merge must re-sort.
+  PercentileSample s;
+  s.add(2.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.5);  // forces the sorted state
+  s.merge(s);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 2.0);
+}
+
 TEST(PercentileSample, ContractsOnEmptyAndBadQ) {
   PercentileSample p;
   EXPECT_THROW((void)p.median(), ContractViolation);
@@ -184,6 +212,50 @@ TEST(Histogram, CdfIsMonotone) {
     prev = c;
   }
   EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+// cdf_at_bin is the CDF of the *in-range* mass only: out-of-range
+// observations must shift nothing, and the last bin must read exactly 1
+// whenever anything landed in range. (The old implementation mixed
+// underflow into the numerator and all mass into the denominator, so
+// overflow dragged the last bin below 1.)
+TEST(Histogram, CdfIgnoresUnderflowOnly) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(-1.0);  // underflow
+  h.add(-5.0);  // underflow
+  h.add(0.5);   // bin 0
+  h.add(2.5);   // bin 2
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(2), 1.0);
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(3), 1.0);
+}
+
+TEST(Histogram, CdfIgnoresOverflowOnly) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(7.0);  // overflow
+  h.add(0.5);  // bin 0
+  h.add(1.5);  // bin 1
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(3), 1.0);
+}
+
+TEST(Histogram, CdfIgnoresMixedOutOfRangeMass) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(-1.0);  // underflow
+  h.add(5.0);   // overflow
+  h.add(0.5);   // bin 0
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(1), 1.0);
+}
+
+TEST(Histogram, CdfIsZeroWhenNothingInRange) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(-1.0);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(1), 0.0);
 }
 
 TEST(Histogram, MergeAddsCountsBinwise) {

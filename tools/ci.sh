@@ -13,41 +13,47 @@
 #   5. prove the fleet determinism contract end-to-end: bench_f5_scale_users
 #      and bench_f12_broker must emit byte-identical stdout and
 #      NTCO_BENCH_OUT artifacts with NTCO_THREADS=1 and NTCO_THREADS=8
-#   6. rebuild under ThreadSanitizer and rerun the fleet + broker suites
+#   6. run bench_micro_sim and compare the schedule-fire-cancel loop
+#      against the checked-in BENCH_micro_sim.json baseline: a drop of
+#      more than 10% in items_per_second fails the gate (benchmarks are
+#      noisy; 10% is beyond run-to-run jitter for this loop). Refresh the
+#      baseline by copying the build's BENCH_micro_sim.json to the repo
+#      root after a deliberate kernel change.
+#   7. rebuild under ThreadSanitizer and rerun the fleet + broker suites
 #      (everything that exercises the worker pool) — ctest -R
 #      '^Fleet|^Broker'
-#   7. rebuild under ASan + UBSan and rerun the whole suite
+#   8. rebuild under ASan + UBSan and rerun the whole suite
 #
 #   tools/ci.sh [build-dir]             (default: build-ci)
 #
-# Steps 6 and 7 use their own build trees (NTCO_SANITIZE is a build-wide
+# Steps 7 and 8 use their own build trees (NTCO_SANITIZE is a build-wide
 # flag; ASan and TSan cannot share one). Set NTCO_CI_SKIP_SANITIZERS=1 to
-# stop after step 5 on machines where two extra builds are too slow.
+# stop after step 6 on machines where two extra builds are too slow.
 set -eu
 
 BUILD_DIR="${1:-build-ci}"
 SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/7] configure (NTCO_WERROR=ON) + build ntco-lint =="
+echo "== [1/8] configure (NTCO_WERROR=ON) + build ntco-lint =="
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
   -DNTCO_WERROR=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target ntco-lint -j "$JOBS"
 
-echo "== [2/7] ntco-lint: static determinism & layering gate =="
+echo "== [2/8] ntco-lint: static determinism & layering gate =="
 "$BUILD_DIR/tools/ntco-lint" \
   --root "$SRC_DIR" \
   --baseline "$SRC_DIR/tools/lint_baseline.txt" \
   --json-out "$BUILD_DIR/ntco-lint-report.json"
 
-echo "== [3/7] build everything =="
+echo "== [3/8] build everything =="
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "== [4/7] unit + integration tests =="
+echo "== [4/8] unit + integration tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== [5/7] fleet determinism: F5 + F12 artifacts at NTCO_THREADS=1 vs 8 =="
+echo "== [5/8] fleet determinism: F5 + F12 artifacts at NTCO_THREADS=1 vs 8 =="
 for det_bench in bench_f5_scale_users bench_f12_broker; do
   DET_DIR="$BUILD_DIR/fleet-determinism/$det_bench"
   rm -rf "$DET_DIR"
@@ -63,12 +69,36 @@ for det_bench in bench_f5_scale_users bench_f12_broker; do
   echo "$det_bench: byte-identical across $(ls "$DET_DIR/t1" | wc -l) artifacts"
 done
 
+echo "== [6/8] simulator kernel micro-bench vs checked-in baseline =="
+BENCH_DIR="$BUILD_DIR/micro-sim-bench"
+rm -rf "$BENCH_DIR"
+mkdir -p "$BENCH_DIR"
+NTCO_BENCH_OUT="$BENCH_DIR" "$BUILD_DIR/bench/bench_micro_sim" \
+  --benchmark_min_time=0.5 > "$BENCH_DIR/stdout.txt" 2>&1
+for loop in "BM_ScheduleFireCancel/1024" "BM_ScheduleFireCancel/8192"; do
+  base="$(awk -F': ' -v n="$loop" \
+    '$0 ~ "\"" n "\"" { sub(/,.*/, "", $3); print $3 }' \
+    "$SRC_DIR/BENCH_micro_sim.json")"
+  cur="$(awk -F': ' -v n="$loop" \
+    '$0 ~ "\"" n "\"" { sub(/,.*/, "", $3); print $3 }' \
+    "$BENCH_DIR/BENCH_micro_sim.json")"
+  if [ -z "$base" ] || [ -z "$cur" ]; then
+    echo "FAIL: $loop missing from bench output or baseline" >&2
+    exit 1
+  fi
+  if ! awk -v c="$cur" -v b="$base" 'BEGIN { exit !(c >= 0.9 * b) }'; then
+    echo "FAIL: $loop regressed >10%: $cur items/s vs baseline $base" >&2
+    exit 1
+  fi
+  echo "$loop: $cur items/s (baseline $base) — within 10% gate"
+done
+
 if [ "${NTCO_CI_SKIP_SANITIZERS:-0}" = "1" ]; then
   echo "== sanitizer stages skipped (NTCO_CI_SKIP_SANITIZERS=1) =="
   exit 0
 fi
 
-echo "== [6/7] ThreadSanitizer: fleet + broker suites =="
+echo "== [7/8] ThreadSanitizer: fleet + broker suites =="
 cmake -B "$BUILD_DIR-tsan" -S "$SRC_DIR" \
   -DNTCO_SANITIZE=thread \
   -DNTCO_BUILD_BENCHMARKS=OFF -DNTCO_BUILD_EXAMPLES=OFF \
@@ -77,7 +107,7 @@ cmake --build "$BUILD_DIR-tsan" --target fleet_test broker_test -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure -R '^Fleet|^Broker'
 
-echo "== [7/7] ASan + UBSan: full suite =="
+echo "== [8/8] ASan + UBSan: full suite =="
 "$SRC_DIR/tools/sanitize.sh" address "$BUILD_DIR-asan"
 
 echo "== CI green =="
