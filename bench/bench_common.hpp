@@ -15,6 +15,7 @@
 #include "ntco/obs/metrics.hpp"
 #include "ntco/obs/trace.hpp"
 #include "ntco/stats/table.hpp"
+#include "ntco/net/path.hpp"
 
 namespace ntco::bench {
 

@@ -1,0 +1,230 @@
+// F13 — Shared-fabric contention: where serverless beats the edge *because*
+// the edge LAN saturates.
+//
+// Every prior experiment gives each UE a private link, which flatters the
+// edge site: its LAN is modelled as infinitely parallel. F13 re-runs the
+// edge-vs-serverless burst on the shared fabric (src/fabric): per site, N
+// offloaders push a heavy upload through one cell segment and then either
+// the site's 1 Gb/s edge LAN or a fat 40 Gb/s serverless WAN. Compute is
+// deliberately over-provisioned on the edge (32 servers) so queueing never
+// dominates — what collapses is the LAN. Each UE's private access cap is
+// 200 Mb/s, so around N ≈ 5 concurrent uploads the LAN share
+// (1000/N Mb/s) drops below the access cap and edge completion grows
+// linearly with N, while the WAN keeps every flow at its access cap until
+// the shared cell segment itself binds (N ≈ 50). The serverless side pays
+// cold starts and WAN latency, so the edge wins small N — the experiment
+// prints the measured crossover where that flips.
+//
+// Scale & determinism: each site is one fleet shard (own Simulator +
+// Fabric + platforms), shards merge in shard order, so the table and every
+// NTCO_BENCH_OUT artifact are byte-identical at any NTCO_THREADS. Tracing
+// attaches only up to kTraceUsersCap users/site to bound the artifact.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ntco/fabric/fabric.hpp"
+#include "ntco/fleet/replicator.hpp"
+
+using namespace ntco;
+
+namespace {
+
+constexpr std::size_t kSites = 8;    // shards per sweep point
+constexpr int kTraceUsersCap = 16;   // largest point with tracing attached
+
+const auto kUpload = DataSize::megabytes(64);
+const auto kResult = DataSize::megabytes(1);
+const auto kWork = Cycles::giga(2);
+const auto kWindow = Duration::seconds(2);  // arrival burst width
+
+/// Per-UE private access leg: what the UE's radio can do when nothing is
+/// shared. The fabric caps every flow at this rate.
+net::PathSpec access_spec(const char* name, Duration latency) {
+  net::PathSpec s;
+  s.name = name;
+  s.up = {DataRate::megabits_per_second(200), latency, 0.0, 0.0};
+  s.down = {DataRate::megabits_per_second(400), latency, 0.0, 0.0};
+  return s;
+}
+
+struct ShardResult {
+  stats::PercentileSample edge_done;   // per-user completion, seconds
+  stats::PercentileSample cloud_done;
+  std::size_t lan_peak_flows = 0;
+  std::size_t wan_peak_flows = 0;
+  std::uint64_t cold_starts = 0;
+  std::uint64_t amortized_tails = 0;
+  obs::JsonlTraceWriter trace;
+};
+
+ShardResult simulate_site(int users, bool trace_on, fleet::ShardContext& ctx) {
+  ShardResult out;
+
+  // One arrival offset per user, shared by both platforms so they face the
+  // identical burst.
+  std::vector<Duration> arrival;
+  arrival.reserve(static_cast<std::size_t>(users));
+  for (int u = 0; u < users; ++u)
+    arrival.push_back(kWindow * ctx.rng.uniform(0.0, 1.0));
+
+  // --- Edge site: cell -> 1 Gb/s LAN, 32 servers (compute never binds). --
+  {
+    sim::Simulator esim;
+    fabric::Fabric net(esim);
+    const auto cell_up = net.add_segment(
+        {"cell.up", DataRate::megabits_per_second(10000), Duration::zero()});
+    const auto cell_dn = net.add_segment(
+        {"cell.down", DataRate::megabits_per_second(10000), Duration::zero()});
+    const auto lan_up = net.add_segment(
+        {"lan.up", DataRate::megabits_per_second(1000), Duration::millis(1)});
+    const auto lan_dn = net.add_segment(
+        {"lan.down", DataRate::megabits_per_second(1000), Duration::millis(1)});
+    edgesim::EdgeConfig ecfg;
+    ecfg.servers = 32;
+    edgesim::EdgePlatform edge(esim, ecfg);
+    std::vector<std::unique_ptr<fabric::FabricPath>> paths;
+    for (int u = 0; u < users; ++u)
+      paths.push_back(net.attach(access_spec("edge", Duration::millis(8)),
+                                 fabric::Route{{cell_up, lan_up},
+                                               {cell_dn, lan_dn}}));
+    if (trace_on) net.set_trace(&out.trace);
+    for (int u = 0; u < users; ++u) {
+      fabric::FabricPath* path = paths[static_cast<std::size_t>(u)].get();
+      const auto at = arrival[static_cast<std::size_t>(u)];
+      esim.schedule_at(TimePoint::origin() + at, [&, at, path] {
+        const Duration up = path->uplink_time(kUpload);
+        esim.schedule_after(up, [&, at, path] {
+          edge.submit(kWork, [&, at, path](const edgesim::EdgeResult&) {
+            const Duration down = path->downlink_time(kResult);
+            esim.schedule_after(down, [&, at] {
+              out.edge_done.add((esim.now() - TimePoint::origin() - at)
+                                    .to_seconds());
+            });
+          });
+        });
+      });
+    }
+    esim.run();
+    out.lan_peak_flows = net.segment_stats(lan_up).peak_flows;
+    out.amortized_tails += net.stats().amortized_tails;
+  }
+
+  // --- Serverless: cell -> 40 Gb/s WAN, elastic compute. -----------------
+  {
+    sim::Simulator csim;
+    fabric::Fabric net(csim);
+    const auto cell_up = net.add_segment(
+        {"cell.up", DataRate::megabits_per_second(10000), Duration::zero()});
+    const auto cell_dn = net.add_segment(
+        {"cell.down", DataRate::megabits_per_second(10000), Duration::zero()});
+    const auto wan_up = net.add_segment(
+        {"wan.up", DataRate::megabits_per_second(40000), Duration::millis(30)});
+    const auto wan_dn = net.add_segment(
+        {"wan.down", DataRate::megabits_per_second(40000),
+         Duration::millis(30)});
+    serverless::Platform cloud(csim, {});
+    const auto fn = cloud.deploy(serverless::FunctionSpec{
+        "job", DataSize::megabytes(1792), DataSize::megabytes(40)});
+    std::vector<std::unique_ptr<fabric::FabricPath>> paths;
+    for (int u = 0; u < users; ++u)
+      paths.push_back(net.attach(access_spec("cloud", Duration::millis(8)),
+                                 fabric::Route{{cell_up, wan_up},
+                                               {cell_dn, wan_dn}}));
+    if (trace_on) net.set_trace(&out.trace);
+    for (int u = 0; u < users; ++u) {
+      fabric::FabricPath* path = paths[static_cast<std::size_t>(u)].get();
+      const auto at = arrival[static_cast<std::size_t>(u)];
+      csim.schedule_at(TimePoint::origin() + at, [&, at, path] {
+        const Duration up = path->uplink_time(kUpload);
+        csim.schedule_after(up, [&, at, path] {
+          cloud.invoke(fn, kWork,
+                       [&, at, path](const serverless::InvocationResult&) {
+            const Duration down = path->downlink_time(kResult);
+            csim.schedule_after(down, [&, at] {
+              out.cloud_done.add((csim.now() - TimePoint::origin() - at)
+                                     .to_seconds());
+            });
+          });
+        });
+      });
+    }
+    csim.run();
+    out.wan_peak_flows = net.segment_stats(wan_up).peak_flows;
+    out.cold_starts = cloud.stats().cold_starts;
+    out.amortized_tails += net.stats().amortized_tails;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::ReportWriter report(
+      "F13", "Shared-fabric contention: edge LAN saturation",
+      "edge mean flat then linear in N once the 1 Gb/s LAN share drops "
+      "below the 200 Mb/s access cap; cloud mean flat until the cell "
+      "binds; crossover where cloud < edge");
+
+  obs::JsonlTraceWriter trace;
+  const bool observe = report.machine_output();
+
+  stats::Table t({"users/site", "edge mean (s)", "cloud mean (s)",
+                  "edge p95 (s)", "cloud p95 (s)", "LAN share (Mb/s)",
+                  "LAN peak flows", "cloud colds", "winner"});
+  int crossover = -1;
+  for (const int users : {1, 2, 4, 6, 8, 12, 16, 24, 32, 64}) {
+    const bool trace_on = observe && users <= kTraceUsersCap;
+    fleet::Replicator rep(47);
+    auto merged = rep.reduce(
+        kSites, ShardResult{},
+        [&](fleet::ShardContext& ctx) {
+          return simulate_site(users, trace_on, ctx);
+        },
+        [](ShardResult& acc, ShardResult&& shard, std::size_t) {
+          acc.edge_done.merge(shard.edge_done);
+          acc.cloud_done.merge(shard.cloud_done);
+          acc.lan_peak_flows =
+              std::max(acc.lan_peak_flows, shard.lan_peak_flows);
+          acc.wan_peak_flows =
+              std::max(acc.wan_peak_flows, shard.wan_peak_flows);
+          acc.cold_starts += shard.cold_starts;
+          acc.amortized_tails += shard.amortized_tails;
+          acc.trace.append_from(shard.trace);
+        });
+
+    const double edge_mean = merged.edge_done.mean();
+    const double cloud_mean = merged.cloud_done.mean();
+    const bool cloud_wins = cloud_mean < edge_mean;
+    if (cloud_wins && crossover < 0) crossover = users;
+    t.add_row({std::to_string(users), stats::cell(edge_mean, 2),
+               stats::cell(cloud_mean, 2),
+               stats::cell(merged.edge_done.p95(), 2),
+               stats::cell(merged.cloud_done.p95(), 2),
+               stats::cell(1000.0 / users, 1),
+               std::to_string(merged.lan_peak_flows),
+               std::to_string(merged.cold_starts),
+               cloud_wins ? "cloud" : "edge"});
+    if (trace_on) trace.append_from(merged.trace);
+  }
+  t.set_title("F13: per site, N users upload 64 MB + 2 Gcyc within a 2 s "
+              "burst (access cap 200 Mb/s; edge: 1 Gb/s LAN, 32 servers; "
+              "cloud: 40 Gb/s WAN, 1792 MB functions; 8 sites)");
+  t.set_caption("LAN share = 1 Gb/s equally split across N concurrent "
+                "uploads; the edge loses once that share, not compute, "
+                "sets the pace; shards merge in shard order (byte-stable "
+                "at any NTCO_THREADS)");
+  report.emit(t);
+
+  stats::Table x({"crossover users/site", "meaning"});
+  x.add_row({crossover < 0 ? "none" : std::to_string(crossover),
+             crossover < 0
+                 ? "edge won every point in the sweep"
+                 : "smallest N where serverless mean completion beats the "
+                   "edge site"});
+  x.set_title("F13 crossover");
+  report.emit(x);
+  report.emit_trace(trace);
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include "bench_common.hpp"
 #include "ntco/fleet/sweep.hpp"
 #include "ntco/net/flaky_link.hpp"
+#include "ntco/net/path.hpp"
 
 using namespace ntco;
 

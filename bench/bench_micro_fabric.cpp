@@ -1,0 +1,187 @@
+// Micro-benchmark (google-benchmark): flow throughput of the shared
+// fabric. Covers the admission hot path (arrival + fair-share integration
+// + committed-departure insert), lazy departure expiry, and the
+// amortisation guard under a standing population of 100k concurrent flows.
+// BM_AdmitExpireChurn is the loop tools/ci.sh gates against the checked-in
+// BENCH_micro_fabric.json baseline (>10% regression fails).
+//
+// Own main: when NTCO_BENCH_OUT names a directory every result is mirrored
+// into <dir>/BENCH_micro_fabric.json (same stable schema as
+// BENCH_micro_sim.json, parseable with POSIX awk).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ntco/fabric/fabric.hpp"
+#include "ntco/sim/simulator.hpp"
+
+namespace {
+
+using namespace ntco;
+
+/// One segment wide enough that the per-flow access cap always binds, so
+/// admission cost — not the share math outcome — is what varies.
+struct Bed {
+  sim::Simulator sim;
+  fabric::Fabric net;
+  fabric::SegmentId seg;
+  std::unique_ptr<fabric::FabricPath> path;
+
+  explicit Bed(fabric::FabricConfig cfg = {}) : net(sim, cfg) {
+    seg = net.add_segment({"lan.up", DataRate::megabits_per_second(100000),
+                           Duration::zero()});
+    net::PathSpec spec;
+    spec.name = "ue";
+    spec.up = {DataRate::megabits_per_second(100), Duration::millis(1), 0.0,
+               0.0};
+    spec.down = spec.up;
+    path = net.attach(spec, fabric::Route{{seg}, {seg}});
+  }
+};
+
+// Pure arrival pressure: admissions against an ever-growing active set.
+// Pins the multiset insert + integration cost per flow.
+void BM_AdmitFlows(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Bed bed;
+    Duration acc;
+    for (std::uint64_t i = 0; i < n; ++i)
+      acc += bed.path->uplink_time(DataSize::megabytes(1));
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_AdmitFlows)->Arg(1024)->Arg(8192);
+
+// The gated loop: admissions interleaved with simulated-time progress, so
+// every arrival both re-shares against the standing population and lazily
+// expires the flows that drained meanwhile — the mix a population-scale
+// experiment (F13) produces.
+void BM_AdmitExpireChurn(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Bed bed;
+    Duration acc;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto at = TimePoint::at(
+          Duration::micros(static_cast<std::int64_t>(i) * 500));
+      bed.sim.schedule_at(at, [&] {
+        acc += bed.path->uplink_time(DataSize::megabytes(1));
+      });
+    }
+    (void)bed.sim.run();
+    benchmark::DoNotOptimize(acc);
+    benchmark::DoNotOptimize(bed.net.stats().reshare_events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_AdmitExpireChurn)->Arg(1024)->Arg(8192);
+
+// Amortisation guard: admissions against a standing population of
+// `range(0)` concurrent flows (up to 100k). Cost per admission must stay
+// bounded by max_reshare_steps, not the population size.
+void BM_AdmitUnderStandingLoad(benchmark::State& state) {
+  const auto standing = static_cast<std::uint64_t>(state.range(0));
+  Bed bed;
+  // A standing population that never expires within the measured window.
+  for (std::uint64_t i = 0; i < standing; ++i)
+    (void)bed.path->uplink_time(DataSize::gigabytes(1));
+  Duration acc;
+  for (auto _ : state) {
+    acc += bed.path->uplink_time(DataSize::megabytes(1));
+    benchmark::DoNotOptimize(acc);
+  }
+  benchmark::DoNotOptimize(bed.net.stats().amortized_tails);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdmitUnderStandingLoad)->Arg(1024)->Arg(102400);
+
+// Re-share stepping: each admission walks departures of the flows ahead.
+// Deep ramps (max_reshare_steps) versus the pure snapshot (0) bound the
+// integrator's contribution to admission cost.
+void BM_ReshareStepping(benchmark::State& state) {
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  fabric::FabricConfig cfg;
+  cfg.max_reshare_steps = steps;
+  constexpr std::uint64_t kFlows = 512;
+  for (auto _ : state) {
+    Bed bed(cfg);
+    Duration acc;
+    for (std::uint64_t i = 0; i < kFlows; ++i)
+      acc += bed.path->uplink_time(DataSize::megabytes(4));
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kFlows) *
+                          state.iterations());
+}
+BENCHMARK(BM_ReshareStepping)->Arg(0)->Arg(64);
+
+// ---------------------------------------------------------------------------
+// Reporting: identical mirroring scheme to bench_micro_sim.cpp.
+
+struct CapturedRun {
+  std::string name;
+  double items_per_second = 0.0;
+  double ns_per_item = 0.0;
+};
+
+class MirroringReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      CapturedRun c;
+      c.name = run.benchmark_name();
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        c.items_per_second = static_cast<double>(it->second);
+        if (c.items_per_second > 0.0) c.ns_per_item = 1e9 / c.items_per_second;
+      }
+      captured.push_back(std::move(c));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<CapturedRun> captured;
+};
+
+bool write_json(const std::string& path,
+                const std::vector<CapturedRun>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"micro_fabric\",\n  \"results\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i)
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"items_per_second\": %.6g, "
+                 "\"ns_per_item\": %.6g}%s\n",
+                 runs[i].name.c_str(), runs[i].items_per_second,
+                 runs[i].ns_per_item, i + 1 < runs.size() ? "," : "");
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  MirroringReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (const char* dir = std::getenv("NTCO_BENCH_OUT");
+      dir != nullptr && dir[0] != '\0') {
+    const std::string path = std::string(dir) + "/BENCH_micro_fabric.json";
+    if (!write_json(path, reporter.captured)) {
+      std::fprintf(stderr, "ntco: cannot write %s\n", path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

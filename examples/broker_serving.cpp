@@ -18,6 +18,7 @@
 #include "ntco/app/workloads.hpp"
 #include "ntco/broker/broker.hpp"
 #include "ntco/common/rng.hpp"
+#include "ntco/net/path.hpp"
 
 using namespace ntco;
 

@@ -12,6 +12,7 @@
 
 #include "ntco/app/workloads.hpp"
 #include "ntco/cicd/pipeline.hpp"
+#include "ntco/net/path.hpp"
 
 using namespace ntco;
 

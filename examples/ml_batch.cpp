@@ -10,6 +10,7 @@
 #include "ntco/app/workloads.hpp"
 #include "ntco/common/rng.hpp"
 #include "ntco/sched/deferred_scheduler.hpp"
+#include "ntco/net/path.hpp"
 
 using namespace ntco;
 

@@ -11,6 +11,7 @@
 #include "ntco/app/workloads.hpp"
 #include "ntco/core/controller.hpp"
 #include "ntco/profile/profiler.hpp"
+#include "ntco/net/path.hpp"
 
 using namespace ntco;
 

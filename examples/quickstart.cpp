@@ -11,6 +11,7 @@
 #include "ntco/core/controller.hpp"
 #include "ntco/obs/metrics.hpp"
 #include "ntco/obs/trace.hpp"
+#include "ntco/net/path.hpp"
 
 using namespace ntco;
 

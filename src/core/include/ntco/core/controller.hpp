@@ -11,7 +11,7 @@
 #include "ntco/app/task_graph.hpp"
 #include "ntco/common/units.hpp"
 #include "ntco/device/device.hpp"
-#include "ntco/net/path.hpp"
+#include "ntco/net/transport.hpp"
 #include "ntco/obs/metrics.hpp"
 #include "ntco/obs/trace.hpp"
 #include "ntco/partition/cost_model.hpp"
@@ -28,8 +28,12 @@
 ///   sim::Simulator sim;
 ///   serverless::Platform cloud(sim, {});
 ///   device::Device ue(device::budget_phone());
-///   auto path = net::make_fixed_path(net::profile_4g());
+///   auto path = net::make_path(net::spec_4g());   // any net::Transport
 ///   core::OffloadController ctl(sim, cloud, ue, path, {});
+///
+/// The controller programs against net::Transport, so the same workflow
+/// runs over a private link (net::NetworkPath) or a contention-aware
+/// shared fabric (fabric::FabricPath) without modification.
 ///
 ///   const auto app = app::workloads::photo_backup();
 ///   partition::MinCutPartitioner mincut;
@@ -139,7 +143,7 @@ struct ExecutionReport {
 class OffloadController {
  public:
   OffloadController(sim::Simulator& sim, serverless::Platform& platform,
-                    device::Device& device, net::NetworkPath& path,
+                    device::Device& device, net::Transport& path,
                     ControllerConfig cfg);
 
   OffloadController(const OffloadController&) = delete;
@@ -230,7 +234,7 @@ class OffloadController {
   sim::Simulator& sim_;
   serverless::Platform& platform_;
   device::Device& device_;
-  net::NetworkPath& path_;
+  net::Transport& path_;
   ControllerConfig cfg_;
   obs::TraceSink* trace_ = nullptr;
   Instruments m_;

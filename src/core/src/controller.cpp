@@ -8,14 +8,13 @@
 #include <vector>
 
 #include "ntco/common/error.hpp"
-#include "ntco/net/flaky_link.hpp"
 
 namespace ntco::core {
 
 OffloadController::OffloadController(sim::Simulator& sim,
                                      serverless::Platform& platform,
                                      device::Device& device,
-                                     net::NetworkPath& path,
+                                     net::Transport& path,
                                      ControllerConfig cfg)
     : sim_(sim), platform_(platform), device_(device), path_(path), cfg_(cfg) {
   if (cfg_.expected_warm_rate < 0.0 || cfg_.expected_warm_rate > 1.0)
@@ -90,10 +89,11 @@ partition::Environment OffloadController::make_environment(
       platform_.config().price_per_gb_second * ref_gb;
   env.price_per_invocation = platform_.config().price_per_request;
 
-  env.uplink = path_.uplink().nominal_rate();
-  env.downlink = path_.downlink().nominal_rate();
-  env.uplink_latency = path_.uplink().nominal_latency();
-  env.downlink_latency = path_.downlink().nominal_latency();
+  const net::PathSpec& spec = path_.spec();
+  env.uplink = spec.up.rate;
+  env.downlink = spec.down.rate;
+  env.uplink_latency = spec.up.latency;
+  env.downlink_latency = spec.down.latency;
   return env;
 }
 
@@ -191,11 +191,12 @@ struct OffloadController::RunState {
 
 OffloadController::RadioResult OffloadController::radio_with_retries(
     bool upload, DataSize bytes, ExecutionReport& report) {
-  net::Link& link = upload ? path_.uplink() : path_.downlink();
+  const net::LinkDirection dir =
+      upload ? net::LinkDirection::Up : net::LinkDirection::Down;
   RadioResult result;
   for (std::size_t attempt = 0; attempt <= cfg_.max_transfer_retries;
        ++attempt) {
-    const net::TransferAttempt a = net::attempt_transfer(link, bytes);
+    const net::TransferAttempt a = path_.attempt(dir, bytes);
     result.elapsed += a.elapsed;
     report.transfer += a.elapsed;
     report.device_energy +=

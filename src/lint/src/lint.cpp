@@ -673,6 +673,7 @@ Config default_config(std::string root) {
       {"obs", {"stats"}},
       {"sim", {"obs"}},
       {"net", {"obs"}},
+      {"fabric", {"sim", "net", "common", "obs"}},
       {"serverless", {"sim"}},
       {"edgesim", {"sim"}},
       {"profile", {"app", "stats"}},

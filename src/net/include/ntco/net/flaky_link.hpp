@@ -4,6 +4,7 @@
 
 #include "ntco/common/rng.hpp"
 #include "ntco/net/link.hpp"
+#include "ntco/net/transport.hpp"
 
 /// \file flaky_link.hpp
 /// Failure injection for network links.
@@ -16,11 +17,8 @@
 
 namespace ntco::net {
 
-/// Result of one transfer attempt on a possibly unreliable link.
-struct TransferAttempt {
-  bool ok = true;
-  Duration elapsed;  ///< transfer time, or the timeout burned on failure
-};
+// TransferAttempt lives in transport.hpp (it is part of the Transport
+// attempt API); this header keeps the link-level failure injector.
 
 /// Decorator injecting Bernoulli transfer failures into any Link.
 class FlakyLink final : public Link {

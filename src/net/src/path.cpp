@@ -2,50 +2,97 @@
 
 namespace ntco::net {
 
-TechProfile profile_3g() {
-  return {"3G", DataRate::megabits_per_second(1),
-          DataRate::megabits_per_second(4), Duration::millis(60), 0.45, 0.25};
+namespace {
+
+/// Symmetric-latency spec helper: the published figures the presets follow
+/// quote one propagation latency and one jitter model per technology.
+PathSpec symmetric(std::string name, DataRate up, DataRate down,
+                   Duration latency, double latency_sigma, double rate_cv) {
+  PathSpec s;
+  s.name = std::move(name);
+  s.up = {up, latency, latency_sigma, rate_cv};
+  s.down = {down, latency, latency_sigma, rate_cv};
+  return s;
 }
 
-TechProfile profile_4g() {
-  return {"4G", DataRate::megabits_per_second(10),
-          DataRate::megabits_per_second(30), Duration::millis(25), 0.35, 0.20};
+}  // namespace
+
+PathSpec spec_3g() {
+  return symmetric("3G", DataRate::megabits_per_second(1),
+                   DataRate::megabits_per_second(4), Duration::millis(60),
+                   0.45, 0.25);
 }
 
-TechProfile profile_5g() {
-  return {"5G", DataRate::megabits_per_second(60),
-          DataRate::megabits_per_second(150), Duration::millis(8), 0.30, 0.15};
+PathSpec spec_4g() {
+  return symmetric("4G", DataRate::megabits_per_second(10),
+                   DataRate::megabits_per_second(30), Duration::millis(25),
+                   0.35, 0.20);
 }
 
-TechProfile profile_wifi() {
-  return {"WiFi", DataRate::megabits_per_second(40),
-          DataRate::megabits_per_second(80), Duration::millis(3), 0.30, 0.15};
+PathSpec spec_5g() {
+  return symmetric("5G", DataRate::megabits_per_second(60),
+                   DataRate::megabits_per_second(150), Duration::millis(8),
+                   0.30, 0.15);
 }
 
-TechProfile profile_edge_lan() {
-  return {"EdgeLAN", DataRate::megabits_per_second(100),
-          DataRate::megabits_per_second(100), Duration::millis(1), 0.20, 0.10};
+PathSpec spec_wifi() {
+  return symmetric("WiFi", DataRate::megabits_per_second(40),
+                   DataRate::megabits_per_second(80), Duration::millis(3),
+                   0.30, 0.15);
 }
 
-TechProfile profile_cloud_wan() {
-  return {"CloudWAN", DataRate::megabits_per_second(50),
-          DataRate::megabits_per_second(50), Duration::millis(40), 0.30, 0.10};
+PathSpec spec_edge_lan() {
+  return symmetric("EdgeLAN", DataRate::megabits_per_second(100),
+                   DataRate::megabits_per_second(100), Duration::millis(1),
+                   0.20, 0.10);
 }
+
+PathSpec spec_cloud_wan() {
+  return symmetric("CloudWAN", DataRate::megabits_per_second(50),
+                   DataRate::megabits_per_second(50), Duration::millis(40),
+                   0.30, 0.10);
+}
+
+NetworkPath make_path(const PathSpec& spec) {
+  return NetworkPath(
+      spec, std::make_unique<FixedLink>(spec.up.latency, spec.up.rate),
+      std::make_unique<FixedLink>(spec.down.latency, spec.down.rate));
+}
+
+NetworkPath make_stochastic_path(const PathSpec& spec, Rng rng) {
+  return NetworkPath(
+      spec,
+      std::make_unique<StochasticLink>(spec.up.latency, spec.up.latency_sigma,
+                                       spec.up.rate, spec.up.rate_cv,
+                                       rng.fork(1)),
+      std::make_unique<StochasticLink>(spec.down.latency,
+                                       spec.down.latency_sigma, spec.down.rate,
+                                       spec.down.rate_cv, rng.fork(2)));
+}
+
+PathSpec to_spec(const TechProfile& p) {
+  return symmetric(p.name, p.uplink, p.downlink, p.one_way_latency,
+                   p.latency_sigma, p.rate_cv);
+}
+
+TechProfile to_profile(const PathSpec& spec) {
+  return {spec.name,       spec.up.rate,          spec.down.rate,
+          spec.up.latency, spec.up.latency_sigma, spec.up.rate_cv};
+}
+
+TechProfile profile_3g() { return to_profile(spec_3g()); }
+TechProfile profile_4g() { return to_profile(spec_4g()); }
+TechProfile profile_5g() { return to_profile(spec_5g()); }
+TechProfile profile_wifi() { return to_profile(spec_wifi()); }
+TechProfile profile_edge_lan() { return to_profile(spec_edge_lan()); }
+TechProfile profile_cloud_wan() { return to_profile(spec_cloud_wan()); }
 
 NetworkPath make_fixed_path(const TechProfile& p) {
-  return NetworkPath(p.name,
-                     std::make_unique<FixedLink>(p.one_way_latency, p.uplink),
-                     std::make_unique<FixedLink>(p.one_way_latency,
-                                                 p.downlink));
+  return make_path(to_spec(p));
 }
 
 NetworkPath make_stochastic_path(const TechProfile& p, Rng rng) {
-  return NetworkPath(
-      p.name,
-      std::make_unique<StochasticLink>(p.one_way_latency, p.latency_sigma,
-                                       p.uplink, p.rate_cv, rng.fork(1)),
-      std::make_unique<StochasticLink>(p.one_way_latency, p.latency_sigma,
-                                       p.downlink, p.rate_cv, rng.fork(2)));
+  return make_stochastic_path(to_spec(p), rng);
 }
 
 }  // namespace ntco::net

@@ -10,6 +10,7 @@
 
 #include "ntco/app/workloads.hpp"
 #include "ntco/fleet/replicator.hpp"
+#include "ntco/net/path.hpp"
 
 // Suite names start with "Broker" so tools/ci.sh can rerun exactly these
 // (plus the Fleet suites) under ThreadSanitizer (ctest -R '^Fleet|^Broker').

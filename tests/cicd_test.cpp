@@ -4,6 +4,7 @@
 
 #include "ntco/app/workloads.hpp"
 #include "ntco/common/error.hpp"
+#include "ntco/net/path.hpp"
 
 namespace ntco::cicd {
 namespace {

@@ -7,6 +7,7 @@
 #include "ntco/common/error.hpp"
 #include "ntco/core/controller.hpp"
 #include "ntco/net/flaky_link.hpp"
+#include "ntco/net/path.hpp"
 
 namespace ntco {
 namespace {

@@ -9,6 +9,7 @@
 #include "ntco/core/controller.hpp"
 #include "ntco/net/mobility.hpp"
 #include "ntco/profile/profiler.hpp"
+#include "ntco/net/path.hpp"
 
 namespace ntco {
 namespace {

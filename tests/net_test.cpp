@@ -106,6 +106,33 @@ TEST(NetworkPath, RoundTripUsesBothLinks) {
             expected);
 }
 
+TEST(Transport, ZeroSizeTransfersPayFullOneWayLatency) {
+  // Golden contract pinned on the Transport interface (see transport.hpp):
+  // a zero-size transfer still pays the one-way latency — a request header
+  // crosses the network even when the payload stays local. FabricPath's
+  // agreement with this contract is asserted in fabric_test.cpp.
+  auto path = make_path(spec_4g());
+  Transport& t = path;
+  EXPECT_EQ(t.uplink_time(DataSize::zero()), spec_4g().up.latency);
+  EXPECT_EQ(t.downlink_time(DataSize::zero()), spec_4g().down.latency);
+  EXPECT_EQ(t.round_trip_time(DataSize::zero(), DataSize::zero()),
+            spec_4g().up.latency + spec_4g().down.latency);
+}
+
+TEST(Transport, SpecExposesNominalPlanningFigures) {
+  // Planners (core::OffloadController::make_environment) read the nominal
+  // figures through Transport::spec(); both construction paths must agree.
+  auto from_spec = make_path(spec_wifi());
+  auto from_links = NetworkPath(
+      "WiFi",
+      std::make_unique<FixedLink>(spec_wifi().up.latency, spec_wifi().up.rate),
+      std::make_unique<FixedLink>(spec_wifi().down.latency,
+                                  spec_wifi().down.rate));
+  EXPECT_EQ(from_spec.spec().up.rate, from_links.spec().up.rate);
+  EXPECT_EQ(from_spec.spec().down.latency, from_links.spec().down.latency);
+  EXPECT_EQ(from_spec.name(), "WiFi");
+}
+
 TEST(Profiles, AreOrderedByGeneration) {
   // Each generation improves uplink and latency.
   EXPECT_LT(profile_3g().uplink, profile_4g().uplink);

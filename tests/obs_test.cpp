@@ -5,6 +5,7 @@
 
 #include "ntco/app/workloads.hpp"
 #include "ntco/core/controller.hpp"
+#include "ntco/net/path.hpp"
 
 namespace ntco::obs {
 namespace {

@@ -8,6 +8,7 @@
 #include "ntco/app/workloads.hpp"
 #include "ntco/common/error.hpp"
 #include "ntco/core/controller.hpp"
+#include "ntco/net/path.hpp"
 
 namespace ntco::core {
 namespace {

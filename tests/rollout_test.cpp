@@ -6,6 +6,7 @@
 #include "ntco/app/workloads.hpp"
 #include "ntco/cicd/pipeline.hpp"
 #include "ntco/common/error.hpp"
+#include "ntco/net/path.hpp"
 
 namespace ntco::cicd {
 namespace {

@@ -10,18 +10,20 @@
 #   3. build everything else (tests, benches, examples)
 #   4. run the unit/integration suite (ctest; includes LintClean again so
 #      a local `ctest` run gets the same gate)
-#   5. prove the fleet determinism contract end-to-end: bench_f5_scale_users
-#      and bench_f12_broker must emit byte-identical stdout and
+#   5. prove the fleet determinism contract end-to-end:
+#      bench_f5_scale_users, bench_f12_broker, and
+#      bench_f13_fabric_contention must emit byte-identical stdout and
 #      NTCO_BENCH_OUT artifacts with NTCO_THREADS=1 and NTCO_THREADS=8
-#   6. run bench_micro_sim and compare the schedule-fire-cancel loop
-#      against the checked-in BENCH_micro_sim.json baseline: a drop of
-#      more than 10% in items_per_second fails the gate (benchmarks are
-#      noisy; 10% is beyond run-to-run jitter for this loop). Refresh the
-#      baseline by copying the build's BENCH_micro_sim.json to the repo
-#      root after a deliberate kernel change.
-#   7. rebuild under ThreadSanitizer and rerun the fleet + broker suites
-#      (everything that exercises the worker pool) — ctest -R
-#      '^Fleet|^Broker'
+#   6. run bench_micro_sim and bench_micro_fabric and compare their gated
+#      loops against the checked-in BENCH_micro_sim.json /
+#      BENCH_micro_fabric.json baselines: a drop of more than 10% in
+#      items_per_second fails the gate (benchmarks are noisy; 10% is
+#      beyond run-to-run jitter for these loops). Refresh a baseline by
+#      copying the build's JSON to the repo root after a deliberate
+#      kernel/fabric change.
+#   7. rebuild under ThreadSanitizer and rerun the fleet, broker, and
+#      fabric-fleet suites (everything that exercises the worker pool) —
+#      ctest -R '^Fleet|^Broker|^FabricFleet'
 #   8. rebuild under ASan + UBSan and rerun the whole suite
 #
 #   tools/ci.sh [build-dir]             (default: build-ci)
@@ -53,8 +55,8 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== [4/8] unit + integration tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== [5/8] fleet determinism: F5 + F12 artifacts at NTCO_THREADS=1 vs 8 =="
-for det_bench in bench_f5_scale_users bench_f12_broker; do
+echo "== [5/8] fleet determinism: F5 + F12 + F13 artifacts at NTCO_THREADS=1 vs 8 =="
+for det_bench in bench_f5_scale_users bench_f12_broker bench_f13_fabric_contention; do
   DET_DIR="$BUILD_DIR/fleet-determinism/$det_bench"
   rm -rf "$DET_DIR"
   mkdir -p "$DET_DIR/t1" "$DET_DIR/t8"
@@ -69,29 +71,37 @@ for det_bench in bench_f5_scale_users bench_f12_broker; do
   echo "$det_bench: byte-identical across $(ls "$DET_DIR/t1" | wc -l) artifacts"
 done
 
-echo "== [6/8] simulator kernel micro-bench vs checked-in baseline =="
-BENCH_DIR="$BUILD_DIR/micro-sim-bench"
-rm -rf "$BENCH_DIR"
-mkdir -p "$BENCH_DIR"
-NTCO_BENCH_OUT="$BENCH_DIR" "$BUILD_DIR/bench/bench_micro_sim" \
-  --benchmark_min_time=0.5 > "$BENCH_DIR/stdout.txt" 2>&1
-for loop in "BM_ScheduleFireCancel/1024" "BM_ScheduleFireCancel/8192"; do
-  base="$(awk -F': ' -v n="$loop" \
-    '$0 ~ "\"" n "\"" { sub(/,.*/, "", $3); print $3 }' \
-    "$SRC_DIR/BENCH_micro_sim.json")"
-  cur="$(awk -F': ' -v n="$loop" \
-    '$0 ~ "\"" n "\"" { sub(/,.*/, "", $3); print $3 }' \
-    "$BENCH_DIR/BENCH_micro_sim.json")"
-  if [ -z "$base" ] || [ -z "$cur" ]; then
-    echo "FAIL: $loop missing from bench output or baseline" >&2
-    exit 1
-  fi
-  if ! awk -v c="$cur" -v b="$base" 'BEGIN { exit !(c >= 0.9 * b) }'; then
-    echo "FAIL: $loop regressed >10%: $cur items/s vs baseline $base" >&2
-    exit 1
-  fi
-  echo "$loop: $cur items/s (baseline $base) — within 10% gate"
-done
+echo "== [6/8] kernel + fabric micro-benches vs checked-in baselines =="
+# gate_micro <bench-binary> <baseline.json> <gated loop>...
+gate_micro() {
+  mb="$1"; baseline="$2"; shift 2
+  MB_DIR="$BUILD_DIR/micro-bench/$mb"
+  rm -rf "$MB_DIR"
+  mkdir -p "$MB_DIR"
+  NTCO_BENCH_OUT="$MB_DIR" "$BUILD_DIR/bench/$mb" \
+    --benchmark_min_time=0.5 > "$MB_DIR/stdout.txt" 2>&1
+  for loop in "$@"; do
+    base="$(awk -F': ' -v n="$loop" \
+      '$0 ~ "\"" n "\"" { sub(/,.*/, "", $3); print $3 }' \
+      "$SRC_DIR/$baseline")"
+    cur="$(awk -F': ' -v n="$loop" \
+      '$0 ~ "\"" n "\"" { sub(/,.*/, "", $3); print $3 }' \
+      "$MB_DIR/$baseline")"
+    if [ -z "$base" ] || [ -z "$cur" ]; then
+      echo "FAIL: $loop missing from bench output or baseline" >&2
+      exit 1
+    fi
+    if ! awk -v c="$cur" -v b="$base" 'BEGIN { exit !(c >= 0.9 * b) }'; then
+      echo "FAIL: $loop regressed >10%: $cur items/s vs baseline $base" >&2
+      exit 1
+    fi
+    echo "$loop: $cur items/s (baseline $base) — within 10% gate"
+  done
+}
+gate_micro bench_micro_sim BENCH_micro_sim.json \
+  "BM_ScheduleFireCancel/1024" "BM_ScheduleFireCancel/8192"
+gate_micro bench_micro_fabric BENCH_micro_fabric.json \
+  "BM_AdmitExpireChurn/1024" "BM_AdmitExpireChurn/8192"
 
 if [ "${NTCO_CI_SKIP_SANITIZERS:-0}" = "1" ]; then
   echo "== sanitizer stages skipped (NTCO_CI_SKIP_SANITIZERS=1) =="
@@ -103,9 +113,11 @@ cmake -B "$BUILD_DIR-tsan" -S "$SRC_DIR" \
   -DNTCO_SANITIZE=thread \
   -DNTCO_BUILD_BENCHMARKS=OFF -DNTCO_BUILD_EXAMPLES=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR-tsan" --target fleet_test broker_test -j "$JOBS"
+cmake --build "$BUILD_DIR-tsan" --target fleet_test broker_test fabric_test \
+  -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure -R '^Fleet|^Broker'
+  ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure \
+  -R '^Fleet|^Broker|^FabricFleet'
 
 echo "== [8/8] ASan + UBSan: full suite =="
 "$SRC_DIR/tools/sanitize.sh" address "$BUILD_DIR-asan"
