@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "ntco/common/units.hpp"
 #include "ntco/obs/metrics.hpp"
@@ -89,8 +90,18 @@ class AdmissionController {
   /// counters. Either may be null.
   void attach_observer(obs::TraceSink* trace, obs::MetricsRegistry* metrics);
 
+  /// Couples the token refill to downstream serving capacity: the probe is
+  /// read at each refill and its value, clamped to [0, 1], scales the
+  /// sustained rate (1 = full capacity, 0 = refill stalls; bursts already
+  /// banked stay spendable). Wire `continuum::Federation::capacity_factor`
+  /// here and admission tightens while federation sites are down, instead
+  /// of cheerfully admitting work the continuum will only park. Null
+  /// clears the probe. The probe must be deterministic in simulated time.
+  void set_capacity_probe(std::function<double()> probe);
+
  private:
   void refill(TimePoint now);
+  [[nodiscard]] double effective_rate() const;
 
   struct Instruments {
     obs::Counter* admitted = nullptr;
@@ -99,6 +110,7 @@ class AdmissionController {
   };
 
   AdmissionConfig cfg_;
+  std::function<double()> capacity_probe_;
   double tokens_;
   TimePoint last_refill_;
   AdmissionStats stats_;

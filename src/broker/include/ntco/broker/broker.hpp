@@ -136,6 +136,14 @@ class Broker {
   /// may be null. Stable names are listed in DESIGN.md ("Observability").
   void attach_observer(obs::TraceSink* trace, obs::MetricsRegistry* metrics);
 
+  /// Forwards to AdmissionController::set_capacity_probe: admission
+  /// tightens with downstream serving capacity (e.g. a continuum
+  /// federation's capacity_factor) without the broker depending on any
+  /// particular capacity provider.
+  void set_capacity_probe(std::function<double()> probe) {
+    admission_.set_capacity_probe(std::move(probe));
+  }
+
  private:
   /// (Re-)attempts admission; deferred requests loop back here.
   void attempt(ServeRequest req, TimePoint released, std::uint64_t deferrals,

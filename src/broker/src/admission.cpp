@@ -24,10 +24,20 @@ void AdmissionController::attach_observer(obs::TraceSink* trace,
   }
 }
 
+void AdmissionController::set_capacity_probe(std::function<double()> probe) {
+  capacity_probe_ = std::move(probe);
+}
+
+double AdmissionController::effective_rate() const {
+  if (!capacity_probe_) return cfg_.rate_per_second;
+  return cfg_.rate_per_second *
+         std::clamp(capacity_probe_(), 0.0, 1.0);
+}
+
 void AdmissionController::refill(TimePoint now) {
   NTCO_EXPECTS(now >= last_refill_);
   const double dt = (now - last_refill_).to_seconds();
-  tokens_ = std::min(cfg_.burst, tokens_ + dt * cfg_.rate_per_second);
+  tokens_ = std::min(cfg_.burst, tokens_ + dt * effective_rate());
   last_refill_ = now;
 }
 
@@ -47,9 +57,14 @@ AdmissionDecision AdmissionController::decide(TimePoint now,
   // thundering back together at the next refill.
   const double deficit = 1.0 - tokens_;
   const double backlog = static_cast<double>(stats_.deferred_outstanding);
+  // Quote against the capacity-scaled rate (floored so a stalled refill
+  // quotes a finite — if hopeless — wait instead of dividing by zero, and
+  // capped so the arithmetic stays inside Duration's range).
+  const double rate = std::max(effective_rate(), 1e-6);
   const Duration wait = std::max(
       cfg_.min_defer,
-      Duration::from_seconds((backlog + deficit) / cfg_.rate_per_second));
+      std::min(Duration::minutes(60),
+               Duration::from_seconds((backlog + deficit) / rate)));
   const TimePoint retry_at = now + wait;
 
   // QueueFull outranks DeadlineTooTight: a full deferral queue sheds the

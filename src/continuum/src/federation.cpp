@@ -1,0 +1,384 @@
+#include "ntco/continuum/federation.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "ntco/common/contracts.hpp"
+#include "ntco/common/error.hpp"
+#include "ntco/continuum/migration.hpp"
+
+namespace ntco::continuum {
+
+Federation::Federation(sim::Simulator& sim, FederationConfig cfg)
+    : sim_(sim), cfg_(cfg), engine_(std::make_unique<MigrationEngine>(*this)) {
+  if (cfg_.price_slack_factor < 1.0)
+    throw ConfigError("price_slack_factor must be >= 1");
+  if (cfg_.resume_overhead.is_negative())
+    throw ConfigError("resume_overhead must be non-negative");
+}
+
+Federation::~Federation() = default;
+
+SiteId Federation::add_site(Site site) {
+  NTCO_EXPECTS(jobs_.empty());  // registry is fixed before the first job
+  const auto slot = static_cast<SiteId>(sites_.size());
+  NTCO_EXPECTS(site.id() == slot);
+  sites_.push_back(std::move(site));
+  alive_.push_back(true);
+  return slot;
+}
+
+void Federation::set_route(SiteId from, SiteId to, net::Transport& transport) {
+  NTCO_EXPECTS(from < sites_.size() && to < sites_.size() && from != to);
+  routes_[{from, to}] = &transport;
+}
+
+void Federation::attach_observer(obs::TraceSink* trace,
+                                 obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  metrics_ = metrics;
+  m_ = Instruments{};
+  if (metrics == nullptr) return;
+  m_.jobs = &metrics->counter("continuum.jobs");
+  m_.completed = &metrics->counter("continuum.completed");
+  m_.deadline_misses = &metrics->counter("continuum.deadline_misses");
+  m_.migrations = &metrics->counter("continuum.migrations");
+  m_.restarts = &metrics->counter("continuum.restarts");
+  m_.stay_puts = &metrics->counter("continuum.stay_puts");
+  m_.spillovers = &metrics->counter("continuum.spillovers");
+  m_.reroutes = &metrics->counter("continuum.reroutes");
+  m_.parked = &metrics->counter("continuum.parked");
+  m_.completion_ms = &metrics->summary("continuum.completion_ms");
+  m_.job_cost_usd = &metrics->summary("continuum.job_cost_usd");
+}
+
+Duration Federation::est_oneway(const net::DirectionSpec& d, DataSize size) {
+  return d.latency + size / d.rate;
+}
+
+net::Transport* Federation::route(SiteId from, SiteId to) const {
+  const auto it = routes_.find({from, to});
+  return it == routes_.end() ? nullptr : it->second;
+}
+
+double Federation::capacity_factor() const {
+  if (sites_.empty()) return 1.0;
+  const auto up = static_cast<std::size_t>(
+      std::count(alive_.begin(), alive_.end(), true));
+  return static_cast<double>(up) / static_cast<double>(sites_.size());
+}
+
+SiteId Federation::place(const JobSpec& spec, bool& spilled) const {
+  spilled = false;
+  const TimePoint now = sim_.now();
+  struct Cand {
+    SiteId id;
+    SiteTier tier;
+    double util;
+    Duration est;
+    Money cost;
+  };
+  std::vector<Cand> cands;
+  bool edge_alive = false;
+  for (SiteId s = 0; s < sites_.size(); ++s) {
+    if (!alive_[s]) continue;
+    const Site& site = sites_[s];
+    if (site.tier() == SiteTier::Edge) edge_alive = true;
+    const auto& path = site.ue_route().spec();
+    const Duration est = est_oneway(path.up, spec.input) +
+                         site.est_wait(spec.work) + site.est_exec(spec.work) +
+                         est_oneway(path.down, spec.output);
+    cands.push_back(
+        {s, site.tier(), site.utilization(), est, site.est_cost(spec.work, now)});
+  }
+  if (cands.empty()) return static_cast<SiteId>(sites_.size());
+
+  const auto feasible = [&spec](const Cand& c) {
+    return spec.deadline.is_zero() || c.est <= spec.deadline;
+  };
+
+  // Edge-first: the nearest tier with an alive, under-threshold, feasible
+  // site wins; within it, cheapest first (then least loaded, then id).
+  const Cand* pick = nullptr;
+  for (int tier = 0; tier <= 2 && pick == nullptr; ++tier) {
+    for (const Cand& c : cands) {
+      if (static_cast<int>(c.tier) != tier) continue;
+      if (c.util >= sites_[c.id].config().spill_threshold) continue;
+      if (!feasible(c)) continue;
+      if (pick == nullptr || std::tie(c.cost, c.util, c.id) <
+                                 std::tie(pick->cost, pick->util, pick->id))
+        pick = &c;
+    }
+  }
+  // Everything saturated or infeasible: soonest completion wins.
+  if (pick == nullptr) {
+    for (const Cand& c : cands)
+      if (pick == nullptr ||
+          std::tie(c.est, c.id) < std::tie(pick->est, pick->id))
+        pick = &c;
+  }
+  // Price-aware override: a strictly cheaper under-threshold site is taken
+  // when the deadline leaves price_slack_factor of headroom over its
+  // estimate. Saturated sites never win on price — their est_cost ignores
+  // the backlog a new job would join.
+  const Cand* cheap = nullptr;
+  for (const Cand& c : cands) {
+    if (c.util >= sites_[c.id].config().spill_threshold) continue;
+    const bool slack_ok = spec.deadline.is_zero() ||
+                          c.est * cfg_.price_slack_factor <= spec.deadline;
+    if (!slack_ok) continue;
+    if (cheap == nullptr ||
+        std::tie(c.cost, c.id) < std::tie(cheap->cost, cheap->id))
+      cheap = &c;
+  }
+  if (cheap != nullptr && cheap->cost < pick->cost) pick = cheap;
+
+  spilled = edge_alive && pick->tier != SiteTier::Edge;
+  return pick->id;
+}
+
+JobId Federation::submit(const JobSpec& spec, Callback done) {
+  NTCO_EXPECTS(done != nullptr);
+  NTCO_EXPECTS(!sites_.empty());
+  NTCO_EXPECTS(!spec.deadline.is_negative());
+  const JobId id = next_job_++;
+  JobState job;
+  job.spec = spec;
+  job.done = std::move(done);
+  job.submitted = sim_.now();
+  jobs_.emplace(id, std::move(job));
+  ++stats_.submitted;
+  if (m_.jobs) m_.jobs->add();
+  if (trace_)
+    obs::emit(trace_, sim_.now(), "continuum.job.submit",
+              {{"job", id},
+               {"work", spec.work.value()},
+               {"input", spec.input},
+               {"deadline", spec.deadline}});
+
+  bool spilled = false;
+  const SiteId s = place(spec, spilled);
+  if (s == sites_.size()) {
+    park(id);
+    return id;
+  }
+  if (spilled) {
+    ++stats_.spillovers;
+    if (m_.spillovers) m_.spillovers->add();
+  }
+  if (trace_)
+    obs::emit(trace_, sim_.now(), "continuum.place",
+              {{"job", id}, {"site", s}, {"spilled", spilled}});
+  start_transfer(id, s, spec.input, sites_[s].ue_route());
+  return id;
+}
+
+void Federation::start_transfer(JobId id, SiteId dest, DataSize size,
+                                net::Transport& t) {
+  JobState& job = jobs_.at(id);
+  job.phase = JobPhase::Transfer;
+  job.dest = dest;
+  if (!job.first_assigned) {
+    job.first_assigned = true;
+    job.first_site = dest;
+  }
+  Duration dur = t.uplink_time(size);  // commits the transfer
+  if (!job.exec_done.is_zero()) dur += cfg_.resume_overhead;
+  sim_.schedule_after(dur, [this, id] { arrive(id); });
+}
+
+void Federation::arrive(JobId id) {
+  JobState& job = jobs_.at(id);
+  if (alive_[job.dest]) {
+    run_on(id, job.dest);
+    return;
+  }
+  // Destination died while the transfer was in flight: re-place from the
+  // UE-side image (the bytes never landed anywhere usable).
+  const SiteId dead = job.dest;
+  ++stats_.reroutes;
+  ++job.migrations;
+  if (m_.reroutes) m_.reroutes->add();
+  if (!place_from_ue(id)) {
+    park(id);
+    return;
+  }
+  if (trace_)
+    obs::emit(trace_, sim_.now(), "continuum.migrate.reroute",
+              {{"job", id}, {"from", dead}, {"to", jobs_.at(id).dest}});
+}
+
+bool Federation::place_from_ue(JobId id) {
+  JobState& job = jobs_.at(id);
+  const bool credited = cfg_.live_migration && !job.exec_done.is_zero();
+  const DataSize size = credited ? job.spec.state : job.spec.input;
+  const Site* best = nullptr;
+  Duration best_est;
+  for (SiteId s = 0; s < sites_.size(); ++s) {
+    if (!alive_[s]) continue;
+    const Site& site = sites_[s];
+    const Duration rem = credited
+                             ? (site.est_exec(job.spec.work) > job.exec_done
+                                    ? site.est_exec(job.spec.work) - job.exec_done
+                                    : Duration::zero())
+                             : site.est_exec(job.spec.work);
+    const Duration est = est_oneway(site.ue_route().spec().up, size) +
+                         site.est_wait(job.spec.work) + rem;
+    if (best == nullptr || est < best_est) {
+      best = &site;
+      best_est = est;
+    }
+  }
+  if (best == nullptr) return false;
+  if (!credited) job.exec_done = Duration::zero();
+  job.moved = true;
+  start_transfer(id, best->id(), size, best->ue_route());
+  return true;
+}
+
+void Federation::run_on(JobId id, SiteId s) {
+  JobState& job = jobs_.at(id);
+  job.site = s;
+  job.phase = JobPhase::Running;
+  if (job.moved) {
+    job.moved = false;
+    if (trace_)
+      obs::emit(trace_, sim_.now(), "continuum.migrate.end",
+                {{"job", id}, {"to", s}, {"credit", job.exec_done}});
+  }
+  job.ticket = sites_[s].submit(
+      job.spec.work, job.exec_done,
+      [this, id](const SiteResult& r) { on_result(id, r); });
+}
+
+void Federation::on_result(JobId id, const SiteResult& r) {
+  JobState& job = jobs_.at(id);
+  job.ticket = 0;
+  job.exec_total += r.exec_time;
+  job.cost += r.cost;
+  job.exec_done = r.exec_credit + r.exec_time;
+
+  if (!r.preempted) {
+    job.phase = JobPhase::Download;
+    const Duration down =
+        sites_[job.site].ue_route().downlink_time(job.spec.output);
+    sim_.schedule_after(down, [this, id] { finish(id); });
+    return;
+  }
+  if (!cfg_.live_migration || abrupt_evac_) job.exec_done = Duration::zero();
+  if (job.phase == JobPhase::Draining) {
+    dispatch_move(id);
+    return;
+  }
+  engine_->decide(id);
+}
+
+void Federation::dispatch_move(JobId id) {
+  JobState& job = jobs_.at(id);
+  const SiteId from = job.site;
+  const SiteId to = job.dest;
+  ++job.migrations;
+  net::Transport* r = (cfg_.live_migration && !job.exec_done.is_zero())
+                          ? route(from, to)
+                          : nullptr;
+  if (r != nullptr) {
+    ++stats_.migrations;
+    if (m_.migrations) m_.migrations->add();
+    if (trace_)
+      obs::emit(trace_, sim_.now(), "continuum.migrate.begin",
+                {{"job", id},
+                 {"from", from},
+                 {"to", to},
+                 {"state", job.spec.state},
+                 {"credit", job.exec_done}});
+    job.moved = true;
+    start_transfer(id, to, job.spec.state, *r);
+    return;
+  }
+  // No usable route (or credit dropped): restart from zero, input
+  // re-uploaded from the UE over the destination's own access route.
+  job.exec_done = Duration::zero();
+  ++stats_.restarts;
+  if (m_.restarts) m_.restarts->add();
+  if (trace_)
+    obs::emit(trace_, sim_.now(), "continuum.migrate.restart",
+              {{"job", id}, {"from", from}, {"to", to}});
+  job.moved = true;
+  start_transfer(id, to, job.spec.input, sites_[to].ue_route());
+}
+
+void Federation::park(JobId id) {
+  JobState& job = jobs_.at(id);
+  job.phase = JobPhase::Parked;
+  parked_.push_back(id);
+  ++stats_.parked;
+  if (m_.parked) m_.parked->add();
+  if (trace_) obs::emit(trace_, sim_.now(), "continuum.job.parked", {{"job", id}});
+}
+
+void Federation::fail_site(SiteId id, bool graceful) {
+  NTCO_EXPECTS(id < sites_.size());
+  if (!alive_[id]) return;
+  alive_[id] = false;
+  if (trace_)
+    obs::emit(trace_, sim_.now(), "continuum.site.fail",
+              {{"site", id}, {"graceful", graceful}});
+  engine_->evacuate(id, graceful);
+}
+
+void Federation::restore_site(SiteId id) {
+  NTCO_EXPECTS(id < sites_.size());
+  if (alive_[id]) return;
+  alive_[id] = true;
+  if (trace_)
+    obs::emit(trace_, sim_.now(), "continuum.site.restore",
+              {{"site", id}, {"parked", static_cast<std::uint64_t>(
+                                  parked_.size())}});
+  std::vector<JobId> waiting;
+  waiting.swap(parked_);
+  for (const JobId j : waiting) {
+    if (!place_from_ue(j)) park(j);
+  }
+}
+
+void Federation::finish(JobId id) {
+  const auto it = jobs_.find(id);
+  NTCO_EXPECTS(it != jobs_.end());
+  JobState job = std::move(it->second);
+  jobs_.erase(it);
+
+  JobOutcome out;
+  out.id = id;
+  out.first_site = job.first_site;
+  out.final_site = job.site;
+  out.submitted = job.submitted;
+  out.finished = sim_.now();
+  out.completion = out.finished - out.submitted;
+  out.exec_total = job.exec_total;
+  out.cost = job.cost;
+  out.migrations = job.migrations;
+  out.deadline_met =
+      job.spec.deadline.is_zero() || out.completion <= job.spec.deadline;
+
+  ++stats_.completed;
+  stats_.total_completion += out.completion;
+  stats_.total_exec += out.exec_total;
+  stats_.total_cost += out.cost;
+  if (m_.completed) m_.completed->add();
+  if (m_.completion_ms) m_.completion_ms->add(out.completion.to_millis());
+  if (m_.job_cost_usd) m_.job_cost_usd->add(out.cost.to_usd());
+  if (!out.deadline_met) {
+    ++stats_.deadline_misses;
+    if (m_.deadline_misses) m_.deadline_misses->add();
+  }
+  if (trace_)
+    obs::emit(trace_, sim_.now(), "continuum.job.done",
+              {{"job", id},
+               {"site", out.final_site},
+               {"migrations", out.migrations},
+               {"cost", out.cost},
+               {"deadline_met", out.deadline_met}});
+  job.done(out);
+}
+
+}  // namespace ntco::continuum

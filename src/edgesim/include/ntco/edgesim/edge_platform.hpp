@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <map>
+#include <optional>
 
 #include "ntco/common/contracts.hpp"
 #include "ntco/common/error.hpp"
@@ -18,6 +21,12 @@
 ///  - the infrastructure bills by existing, not by use: cost accrues per
 ///    server-hour whether or not anything runs, which is the "required
 ///    infrastructure" drawback the abstract cites.
+///
+/// Jobs are addressable (`submit` returns a JobId) and support the
+/// checkpoint/resume pair the continuum migration engine builds on:
+/// `checkpoint` tears a queued or running job off the site, reporting the
+/// exec time already rendered, and `submit_resumed` re-enters a job with
+/// that partial exec credited so only the remainder is served.
 
 namespace ntco::edgesim {
 
@@ -31,18 +40,23 @@ struct EdgeConfig {
   Duration request_overhead = Duration::millis(2);
 };
 
-/// Outcome of one edge job.
+/// Outcome of one edge job. A checkpointed job completes immediately with
+/// `preempted = true` and `exec_time` = the partial run it consumed.
 struct EdgeResult {
   TimePoint submitted;
   TimePoint started;
   TimePoint finished;
   Duration queue_wait;
   Duration exec_time;
+  /// Exec credited from an earlier checkpointed run (resume path).
+  Duration exec_credit;
+  bool preempted = false;
 };
 
 /// Aggregate edge-site accounting.
 struct EdgeStats {
   std::uint64_t jobs = 0;
+  std::uint64_t preemptions = 0;
   Duration total_exec;
   Duration total_queue_wait;
 };
@@ -51,6 +65,14 @@ struct EdgeStats {
 class EdgePlatform {
  public:
   using Callback = std::function<void(const EdgeResult&)>;
+  using JobId = std::uint64_t;
+
+  /// Progress of a live job (see `in_flight`).
+  struct InFlightStatus {
+    bool executing = false;  ///< false while still queued
+    Duration consumed;       ///< exec already rendered (excl. overhead)
+    Duration remaining;      ///< exec still owed
+  };
 
   EdgePlatform(sim::Simulator& sim, EdgeConfig cfg)
       : sim_(sim), cfg_(cfg), pool_(sim, cfg.servers), opened_(sim.now()) {
@@ -67,24 +89,72 @@ class EdgePlatform {
   }
 
   /// Queues `work`; `done` fires on completion.
-  void submit(Cycles work, Callback done) {
-    NTCO_EXPECTS(done != nullptr);
-    const TimePoint submitted = sim_.now();
-    const Duration service = cfg_.request_overhead + exec_time(work);
-    const Duration exec = exec_time(work);
-    pool_.submit(service, [this, submitted, exec,
-                           done = std::move(done)](TimePoint started) {
-      EdgeResult r;
-      r.submitted = submitted;
-      r.started = started;
-      r.finished = sim_.now();
-      r.queue_wait = started - submitted;
-      r.exec_time = exec;
-      ++stats_.jobs;
-      stats_.total_exec += exec;
-      stats_.total_queue_wait += r.queue_wait;
-      done(r);
-    });
+  JobId submit(Cycles work, Callback done) {
+    return enqueue(work, Duration::zero(), std::move(done));
+  }
+
+  /// Queues `work` with `exec_credit` of it already performed elsewhere:
+  /// only the remainder (plus dispatch overhead) occupies a server.
+  JobId submit_resumed(Cycles work, Duration exec_credit, Callback done) {
+    NTCO_EXPECTS(!exec_credit.is_negative());
+    return enqueue(work, exec_credit, std::move(done));
+  }
+
+  /// Checkpoints a queued or running job off the site. Its callback fires
+  /// immediately with `preempted = true` and `exec_time` = the partial run
+  /// rendered so far (zero if still queued). Returns false for an unknown
+  /// or already-completed job.
+  bool checkpoint(JobId id) {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    const auto info = pool_.cancel(it->second.ticket);
+    NTCO_EXPECTS(info.has_value());
+    PendingJob job = std::move(it->second);
+    jobs_.erase(it);
+
+    EdgeResult r;
+    r.submitted = job.submitted;
+    r.finished = sim_.now();
+    r.preempted = true;
+    r.exec_credit = job.exec_credit;
+    if (info->was_running) {
+      r.started = info->started;
+      r.queue_wait = info->started - job.submitted;
+      const Duration past_overhead =
+          info->consumed > cfg_.request_overhead
+              ? info->consumed - cfg_.request_overhead
+              : Duration::zero();
+      r.exec_time = past_overhead < job.exec ? past_overhead : job.exec;
+    } else {
+      r.started = sim_.now();
+      r.queue_wait = sim_.now() - job.submitted;
+    }
+    ++stats_.preemptions;
+    stats_.total_exec += r.exec_time;
+    stats_.total_queue_wait += r.queue_wait;
+    job.done(r);
+    return true;
+  }
+
+  /// Progress of a live job; nullopt once completed or checkpointed.
+  [[nodiscard]] std::optional<InFlightStatus> in_flight(JobId id) const {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return std::nullopt;
+    const PendingJob& job = it->second;
+    const auto st = pool_.status(job.ticket);
+    NTCO_EXPECTS(st.has_value());
+    InFlightStatus s;
+    s.remaining = job.exec;
+    if (st->running) {
+      s.executing = true;
+      const Duration elapsed = sim_.now() - st->started;
+      const Duration past_overhead = elapsed > cfg_.request_overhead
+                                         ? elapsed - cfg_.request_overhead
+                                         : Duration::zero();
+      s.consumed = past_overhead < job.exec ? past_overhead : job.exec;
+      s.remaining = job.exec - s.consumed;
+    }
+    return s;
   }
 
   /// Standing infrastructure cost accrued from site opening to sim-now:
@@ -109,11 +179,54 @@ class EdgePlatform {
   [[nodiscard]] const EdgeConfig& config() const { return cfg_; }
 
  private:
+  struct PendingJob {
+    sim::ServerPool::Ticket ticket = 0;
+    TimePoint submitted;
+    Duration exec;  ///< planned exec after credit
+    Duration exec_credit;
+    Callback done;
+  };
+
+  JobId enqueue(Cycles work, Duration exec_credit, Callback done) {
+    NTCO_EXPECTS(done != nullptr);
+    const Duration full = exec_time(work);
+    const Duration exec =
+        exec_credit < full ? full - exec_credit : Duration::zero();
+    const Duration service = cfg_.request_overhead + exec;
+    const TimePoint submitted = sim_.now();
+    const JobId id = next_job_++;
+    const auto ticket = pool_.submit(
+        service, [this, id](TimePoint started) { finish(id, started); });
+    jobs_.emplace(
+        id, PendingJob{ticket, submitted, exec, exec_credit, std::move(done)});
+    return id;
+  }
+
+  void finish(JobId id, TimePoint started) {
+    const auto it = jobs_.find(id);
+    NTCO_EXPECTS(it != jobs_.end());
+    PendingJob job = std::move(it->second);
+    jobs_.erase(it);
+    EdgeResult r;
+    r.submitted = job.submitted;
+    r.started = started;
+    r.finished = sim_.now();
+    r.queue_wait = started - job.submitted;
+    r.exec_time = job.exec;
+    r.exec_credit = job.exec_credit;
+    ++stats_.jobs;
+    stats_.total_exec += job.exec;
+    stats_.total_queue_wait += r.queue_wait;
+    job.done(r);
+  }
+
   sim::Simulator& sim_;
   EdgeConfig cfg_;
   sim::ServerPool pool_;
   TimePoint opened_;
   EdgeStats stats_;
+  std::map<JobId, PendingJob> jobs_;
+  JobId next_job_ = 1;
 };
 
 }  // namespace ntco::edgesim

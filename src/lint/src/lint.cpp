@@ -682,6 +682,9 @@ Config default_config(std::string root) {
       {"alloc", {"serverless"}},
       {"core", {"alloc", "partition", "net", "app", "device"}},
       {"broker", {"core", "sched", "obs"}},
+      {"continuum",
+       {"serverless", "edgesim", "net", "fabric", "sim", "core", "obs",
+        "common"}},
       {"cicd", {"core", "profile"}},
   };
   return cfg;

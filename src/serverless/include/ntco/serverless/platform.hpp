@@ -3,11 +3,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ntco/common/contracts.hpp"
 #include "ntco/common/error.hpp"
+#include "ntco/common/price_window.hpp"
 #include "ntco/common/rng.hpp"
 #include "ntco/common/units.hpp"
 #include "ntco/obs/metrics.hpp"
@@ -37,13 +40,17 @@ namespace ntco::serverless {
 /// Handle to a deployed function.
 using FunctionId = std::uint32_t;
 
-/// Time-of-day pricing window: [start_hour, end_hour) in simulated hours
-/// since origin, repeating daily. Wrapping windows (22 -> 6) are allowed.
-struct PriceWindow {
-  int start_hour = 0;
-  int end_hour = 0;
-  double multiplier = 1.0;
-};
+/// Handle to one in-flight invocation (monotonic, never reused). Returned
+/// by invoke()/resume() so callers holding delay-tolerant jobs can
+/// checkpoint them mid-run (see checkpoint_preempt()).
+using InvocationId = std::uint64_t;
+
+/// Time-of-day pricing window — the shared definition in
+/// <ntco/common/price_window.hpp>, re-exported so existing
+/// serverless::PriceWindow spellings keep compiling. The continuum
+/// federation estimates with the same type and helper, so placement cost
+/// accounting cannot drift from platform billing.
+using PriceWindow = ntco::PriceWindow;
 
 /// Provider parameters. Defaults approximate a large public FaaS offering.
 struct PlatformConfig {
@@ -112,7 +119,15 @@ struct InvocationResult {
   Duration queue_wait;  ///< time throttled by the concurrency limit
   Duration init_time;   ///< cold-start time paid (zero when warm)
   Duration exec_time;   ///< execution time consumed (partial if preempted)
+  Duration exec_credit;  ///< prior exec credited by resume() (zero otherwise)
   Money cost;           ///< execution + request cost of this invocation
+};
+
+/// Progress snapshot of an in-flight invocation (see in_flight()).
+struct InFlightStatus {
+  bool executing = false;  ///< false while still queued by the throttle
+  Duration consumed;       ///< exec time burned so far (excl. credit)
+  Duration remaining;      ///< exec time still ahead at this configuration
 };
 
 /// Aggregate platform accounting.
@@ -163,8 +178,36 @@ class Platform {
   /// invocation completes — or, for Tier::Spot, when it is preempted
   /// (result.preempted == true, exec_time partial, billed at the spot
   /// price); retrying is the caller's policy (see sched::DeferredExecutor).
-  void invoke(FunctionId id, Cycles work, Callback done,
-              Tier tier = Tier::OnDemand);
+  /// The returned handle stays valid until `done` fires.
+  InvocationId invoke(FunctionId id, Cycles work, Callback done,
+                      Tier tier = Tier::OnDemand);
+
+  // --- Checkpoint / resume hooks (continuum::MigrationEngine) ------------
+
+  /// As invoke(), but credits `exec_credit` of already-performed execution
+  /// (from a checkpointed earlier run, here or on another site): only the
+  /// remaining exec time is simulated and billed. The earlier partial run
+  /// was already billed by its own invocation at its own tier rate, so
+  /// nothing is double-charged. Credit beyond the full exec time clamps to
+  /// an immediate (zero-exec) completion.
+  InvocationId resume(FunctionId id, Cycles work, Duration exec_credit,
+                      Callback done, Tier tier = Tier::OnDemand);
+
+  /// Forces a checkpoint-preemption of an in-flight invocation: the job is
+  /// stopped where it stands and its callback fires *now* with
+  /// `preempted == true` and the partial exec billed at the invocation's
+  /// tier rate — indistinguishable from a spot preemption, so one caller
+  /// path handles both. A queued (still-throttled) invocation is removed
+  /// and completes with zero exec and zero cost. Returns false when the
+  /// handle is unknown (already completed). The executing instance is torn
+  /// down, exactly like a spot preemption.
+  bool checkpoint_preempt(InvocationId id);
+
+  /// Progress of an in-flight invocation; nullopt once completed.
+  /// `remaining` reports the planned tail at this memory configuration and
+  /// does not anticipate a pending spot-preemption draw.
+  [[nodiscard]] std::optional<InFlightStatus> in_flight(
+      InvocationId id) const;
 
   [[nodiscard]] const FunctionSpec& spec(FunctionId id) const;
   [[nodiscard]] std::size_t function_count() const { return fns_.size(); }
@@ -232,15 +275,40 @@ class Platform {
   };
 
   struct PendingInvocation {
+    InvocationId id = 0;
     FunctionId fn;
     Cycles work;
     Callback done;
     TimePoint submitted;
     Tier tier = Tier::OnDemand;
+    Duration exec_credit;  ///< prior exec credited by resume()
   };
 
+  /// One admitted (executing) invocation, keyed by InvocationId in
+  /// `running_` so checkpoint_preempt() can find and stop it mid-run.
+  struct RunningInvocation {
+    FunctionId fn;
+    Callback done;
+    TimePoint submitted;
+    TimePoint admission;   ///< when it left the throttle queue
+    Duration init;         ///< cold-start time ahead of exec
+    Duration planned_exec; ///< exec after credit, before any spot draw
+    Duration exec;         ///< exec this run will actually perform
+    Duration exec_credit;
+    bool cold = false;
+    bool provisioned = false;
+    bool preempted_by_clock = false;  ///< spot draw lost the race
+    Tier tier = Tier::OnDemand;
+    sim::EventId completion = sim::kNoEvent;
+  };
+
+  InvocationId enqueue(FunctionId id, Cycles work, Duration exec_credit,
+                       Callback done, Tier tier);
   void pump();  ///< admits queued invocations while concurrency allows
   void begin(PendingInvocation inv);
+  /// Delivers the result of `running_[id]`; `forced` marks a
+  /// checkpoint_preempt() (exec truncated to what actually ran).
+  void complete(InvocationId id, bool forced);
   void finish_instance(FunctionId fn, bool provisioned);
   void accrue_provisioned() const;
   [[nodiscard]] double provisioned_gb() const;
@@ -265,8 +333,13 @@ class Platform {
   Instruments m_;
   std::vector<Function> fns_;
   std::deque<PendingInvocation> queue_;
+  /// Executing invocations (ordered map: deterministic iteration, stable
+  /// handles). Entries move queue_ -> running_ at admission and are erased
+  /// when their result is delivered.
+  std::map<InvocationId, RunningInvocation> running_;
   std::size_t busy_ = 0;
   std::uint64_t next_instance_ = 1;
+  InvocationId next_invocation_ = 1;
 
   mutable PlatformStats stats_;
   mutable TimePoint provisioned_accrued_until_;

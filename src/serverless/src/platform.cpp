@@ -18,11 +18,7 @@ Platform::Platform(sim::Simulator& sim, PlatformConfig cfg)
     throw ConfigError("memory_quantum must be positive");
   if (cfg_.account_concurrency == 0)
     throw ConfigError("account_concurrency must be positive");
-  for (const auto& w : cfg_.price_windows) {
-    if (w.start_hour < 0 || w.start_hour > 23 || w.end_hour < 0 ||
-        w.end_hour > 24 || w.multiplier <= 0.0)
-      throw ConfigError("malformed price window");
-  }
+  validate_price_windows(cfg_.price_windows);
   if (cfg_.spot_price_multiplier <= 0.0 || cfg_.spot_price_multiplier > 1.0)
     throw ConfigError("spot_price_multiplier must lie in (0, 1]");
   if (cfg_.spot_mean_time_to_preempt.is_negative())
@@ -106,16 +102,37 @@ void Platform::attach_observer(obs::TraceSink* trace,
   }
 }
 
-void Platform::invoke(FunctionId id, Cycles work, Callback done, Tier tier) {
+InvocationId Platform::invoke(FunctionId id, Cycles work, Callback done,
+                              Tier tier) {
+  return enqueue(id, work, Duration::zero(), std::move(done), tier);
+}
+
+InvocationId Platform::resume(FunctionId id, Cycles work, Duration exec_credit,
+                              Callback done, Tier tier) {
+  NTCO_EXPECTS(!exec_credit.is_negative());
+  return enqueue(id, work, exec_credit, std::move(done), tier);
+}
+
+InvocationId Platform::enqueue(FunctionId id, Cycles work,
+                               Duration exec_credit, Callback done,
+                               Tier tier) {
   NTCO_EXPECTS(id < fns_.size());
   NTCO_EXPECTS(done != nullptr);
   ++stats_.invocations;
   if (m_.invocations) m_.invocations->add();
-  if (trace_)
-    obs::emit(trace_, sim_.now(), "faas.invoke",
-              {{"fn", id},
-               {"work", work.value()},
-               {"tier", tier == Tier::Spot ? "spot" : "on_demand"}});
+  if (trace_) {
+    if (exec_credit.is_zero())
+      obs::emit(trace_, sim_.now(), "faas.invoke",
+                {{"fn", id},
+                 {"work", work.value()},
+                 {"tier", tier == Tier::Spot ? "spot" : "on_demand"}});
+    else
+      obs::emit(trace_, sim_.now(), "faas.resume",
+                {{"fn", id},
+                 {"work", work.value()},
+                 {"credit", exec_credit},
+                 {"tier", tier == Tier::Spot ? "spot" : "on_demand"}});
+  }
   if (busy_ >= cfg_.account_concurrency || !queue_.empty()) {
     ++stats_.throttled;
     if (m_.throttled) m_.throttled->add();
@@ -123,9 +140,11 @@ void Platform::invoke(FunctionId id, Cycles work, Callback done, Tier tier) {
       obs::emit(trace_, sim_.now(), "faas.throttled",
                 {{"fn", id}, {"queue_depth", queue_.size()}});
   }
-  queue_.push_back(
-      PendingInvocation{id, work, std::move(done), sim_.now(), tier});
+  const InvocationId inv_id = next_invocation_++;
+  queue_.push_back(PendingInvocation{inv_id, id, work, std::move(done),
+                                     sim_.now(), tier, exec_credit});
   pump();
+  return inv_id;
 }
 
 const FunctionSpec& Platform::spec(FunctionId id) const {
@@ -171,16 +190,7 @@ Duration Platform::cold_start_time(DataSize image) const {
 }
 
 double Platform::price_multiplier(TimePoint when) const {
-  const auto hours_since_origin =
-      when.since_origin().count_micros() / 3'600'000'000LL;
-  const int h = static_cast<int>(hours_since_origin % 24);
-  for (const auto& w : cfg_.price_windows) {
-    const bool inside = (w.start_hour <= w.end_hour)
-                            ? (h >= w.start_hour && h < w.end_hour)
-                            : (h >= w.start_hour || h < w.end_hour);
-    if (inside) return w.multiplier;
-  }
-  return 1.0;
+  return price_multiplier_at(cfg_.price_windows, when);
 }
 
 Money Platform::invocation_cost(DataSize memory, Duration billed,
@@ -239,84 +249,170 @@ void Platform::begin(PendingInvocation inv) {
   ++busy_;
   stats_.peak_concurrency = std::max(stats_.peak_concurrency, busy_);
 
-  const TimePoint submitted = inv.submitted;
-  const TimePoint admission = sim_.now();
   const Duration full_exec =
       exec_time(fn.spec.memory, inv.work, fn.spec.parallel_fraction);
-  const FunctionId fn_id = inv.fn;
-  const Tier tier = inv.tier;
+  // Credit exec already performed by a checkpointed earlier run.
+  const Duration planned = inv.exec_credit < full_exec
+                               ? full_exec - inv.exec_credit
+                               : Duration::zero();
 
   // Spot executions race an exponential preemption clock. A preempted
   // instance is torn down, so it neither returns to the warm pool nor
   // survives as provisioned capacity for this slot.
-  Duration exec = full_exec;
+  Duration exec = planned;
   bool preempted = false;
-  if (tier == Tier::Spot && !cfg_.spot_mean_time_to_preempt.is_zero()) {
+  if (inv.tier == Tier::Spot && !cfg_.spot_mean_time_to_preempt.is_zero()) {
     const Duration survive = Duration::from_seconds(
         rng_.exponential(cfg_.spot_mean_time_to_preempt.to_seconds()));
-    if (survive < full_exec) {
+    if (survive < planned) {
       exec = survive;
       preempted = true;
     }
   }
 
-  sim_.schedule_after(
-      init + exec, [this, fn_id, submitted, admission, init, exec, cold,
-                    provisioned, tier, preempted,
-                    done = std::move(inv.done)] {
-        InvocationResult r;
-        r.submitted = submitted;
-        r.started = admission + init;
-        r.finished = sim_.now();
-        r.cold_start = cold;
-        r.preempted = preempted;
-        r.tier = tier;
-        r.queue_wait = admission - submitted;
-        r.init_time = init;
-        r.exec_time = exec;
-        r.cost =
-            invocation_cost(fns_[fn_id].spec.memory, exec, r.started, tier);
+  RunningInvocation run;
+  run.fn = inv.fn;
+  run.done = std::move(inv.done);
+  run.submitted = inv.submitted;
+  run.admission = sim_.now();
+  run.init = init;
+  run.planned_exec = planned;
+  run.exec = exec;
+  run.exec_credit = inv.exec_credit;
+  run.cold = cold;
+  run.provisioned = provisioned;
+  run.preempted_by_clock = preempted;
+  run.tier = inv.tier;
+  const InvocationId id = inv.id;
+  run.completion =
+      sim_.schedule_after(init + exec, [this, id] { complete(id, false); });
+  running_.emplace(id, std::move(run));
+}
 
-        stats_.total_exec += exec;
-        stats_.total_init += init;
-        stats_.exec_cost += r.cost - cfg_.price_per_request;
-        stats_.request_cost += cfg_.price_per_request;
-        if (preempted) ++stats_.preemptions;
+void Platform::complete(InvocationId id, bool forced) {
+  const auto it = running_.find(id);
+  NTCO_EXPECTS(it != running_.end());
+  RunningInvocation run = std::move(it->second);
+  running_.erase(it);
+  if (forced) sim_.cancel(run.completion);
 
-        if (m_.exec_ms) m_.exec_ms->add(exec.to_millis());
-        if (m_.init_ms) m_.init_ms->add(init.to_millis());
-        if (m_.queue_wait_ms) m_.queue_wait_ms->add(r.queue_wait.to_millis());
-        if (preempted && m_.preemptions) m_.preemptions->add();
-        if (trace_) {
-          if (preempted)
-            obs::emit(trace_, sim_.now(), "faas.preempted",
-                      {{"fn", fn_id}, {"exec", exec}});
-          obs::emit(trace_, sim_.now(), "faas.complete",
-                    {{"fn", fn_id},
-                     {"exec", exec},
-                     {"queue_wait", r.queue_wait},
-                     {"cold", cold},
-                     {"cost", r.cost}});
-        }
+  const TimePoint now = sim_.now();
+  Duration init = run.init;
+  Duration exec = run.exec;
+  bool preempted = run.preempted_by_clock;
+  if (forced) {
+    // Truncate to what actually ran: init completes first, then exec.
+    const Duration elapsed = now - run.admission;
+    init = std::min(init, elapsed);
+    exec = std::max(Duration::zero(), std::min(elapsed - init, run.exec));
+    preempted = true;
+  }
+  const FunctionId fn_id = run.fn;
+  const bool cold = run.cold;
+  const bool provisioned = run.provisioned;
+  const Tier tier = run.tier;
 
-        if (preempted) {
-          // Torn down: release concurrency without returning an instance.
-          NTCO_EXPECTS(busy_ > 0);
-          --busy_;
-          if (provisioned) {
-            Function& f = fns_[fn_id];
-            if (f.provisioned_total > 0) --f.provisioned_total;
-            // Re-establish the provisioned target with a fresh instance.
-            const std::size_t target = f.provisioned_target;
-            f.provisioned_target = 0;
-            set_provisioned_concurrency(fn_id, target);
-          }
-        } else {
-          finish_instance(fn_id, provisioned);
-        }
-        done(r);
-        pump();
-      });
+  InvocationResult r;
+  r.submitted = run.submitted;
+  r.started = run.admission + init;
+  r.finished = now;
+  r.cold_start = cold;
+  r.preempted = preempted;
+  r.tier = tier;
+  r.queue_wait = run.admission - run.submitted;
+  r.init_time = init;
+  r.exec_time = exec;
+  r.exec_credit = run.exec_credit;
+  r.cost = invocation_cost(fns_[fn_id].spec.memory, exec, r.started, tier);
+
+  stats_.total_exec += exec;
+  stats_.total_init += init;
+  stats_.exec_cost += r.cost - cfg_.price_per_request;
+  stats_.request_cost += cfg_.price_per_request;
+  if (preempted) ++stats_.preemptions;
+
+  if (m_.exec_ms) m_.exec_ms->add(exec.to_millis());
+  if (m_.init_ms) m_.init_ms->add(init.to_millis());
+  if (m_.queue_wait_ms) m_.queue_wait_ms->add(r.queue_wait.to_millis());
+  if (preempted && m_.preemptions) m_.preemptions->add();
+  if (trace_) {
+    if (preempted)
+      obs::emit(trace_, sim_.now(), "faas.preempted",
+                {{"fn", fn_id}, {"exec", exec}, {"forced", forced}});
+    obs::emit(trace_, sim_.now(), "faas.complete",
+              {{"fn", fn_id},
+               {"exec", exec},
+               {"queue_wait", r.queue_wait},
+               {"cold", cold},
+               {"cost", r.cost}});
+  }
+
+  if (preempted) {
+    // Torn down: release concurrency without returning an instance.
+    NTCO_EXPECTS(busy_ > 0);
+    --busy_;
+    if (provisioned) {
+      Function& f = fns_[fn_id];
+      if (f.provisioned_total > 0) --f.provisioned_total;
+      // Re-establish the provisioned target with a fresh instance.
+      const std::size_t target = f.provisioned_target;
+      f.provisioned_target = 0;
+      set_provisioned_concurrency(fn_id, target);
+    }
+  } else {
+    finish_instance(fn_id, provisioned);
+  }
+  run.done(r);
+  pump();
+}
+
+bool Platform::checkpoint_preempt(InvocationId id) {
+  // Still throttled: remove from the queue and complete with zero exec.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id != id) continue;
+    PendingInvocation inv = std::move(*it);
+    queue_.erase(it);
+    if (trace_)
+      obs::emit(trace_, sim_.now(), "faas.checkpoint",
+                {{"fn", inv.fn}, {"queued", true}});
+    InvocationResult r;
+    r.submitted = inv.submitted;
+    r.started = sim_.now();
+    r.finished = sim_.now();
+    r.preempted = true;
+    r.tier = inv.tier;
+    r.queue_wait = sim_.now() - inv.submitted;
+    r.exec_credit = inv.exec_credit;
+    inv.done(r);
+    pump();
+    return true;
+  }
+  const auto it = running_.find(id);
+  if (it == running_.end()) return false;
+  if (trace_)
+    obs::emit(trace_, sim_.now(), "faas.checkpoint",
+              {{"fn", it->second.fn}, {"queued", false}});
+  complete(id, /*forced=*/true);
+  return true;
+}
+
+std::optional<InFlightStatus> Platform::in_flight(InvocationId id) const {
+  for (const auto& p : queue_) {
+    if (p.id != id) continue;
+    const Function& fn = fns_[p.fn];
+    const Duration full =
+        exec_time(fn.spec.memory, p.work, fn.spec.parallel_fraction);
+    const Duration planned =
+        p.exec_credit < full ? full - p.exec_credit : Duration::zero();
+    return InFlightStatus{false, Duration::zero(), planned};
+  }
+  const auto it = running_.find(id);
+  if (it == running_.end()) return std::nullopt;
+  const RunningInvocation& run = it->second;
+  const Duration elapsed = sim_.now() - run.admission;
+  const Duration consumed = std::max(
+      Duration::zero(), std::min(elapsed - run.init, run.planned_exec));
+  return InFlightStatus{true, consumed, run.planned_exec - consumed};
 }
 
 void Platform::finish_instance(FunctionId fn_id, bool provisioned) {

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <optional>
 
 #include "ntco/common/contracts.hpp"
 #include "ntco/common/units.hpp"
@@ -12,6 +15,11 @@
 /// with Poisson arrivals). Used to model fixed-capacity edge sites, build
 /// agents in the CI/CD simulator, and anywhere contention for a bounded
 /// resource matters.
+///
+/// Jobs are addressable: `submit` returns a Ticket and `cancel` removes a
+/// queued or in-service job, reporting how much service it already
+/// consumed. That is the primitive the continuum migration engine uses to
+/// checkpoint work off a saturated or failing edge site.
 
 namespace ntco::sim {
 
@@ -22,6 +30,24 @@ class ServerPool {
   /// is when it left the queue, so callers can derive queueing delay.
   using Completion = std::function<void(TimePoint started_at)>;
 
+  /// Handle for a submitted job, usable until its completion fires.
+  using Ticket = std::uint64_t;
+
+  /// What `cancel` found. `consumed` is the service time already rendered
+  /// (zero for a queued job); `started` is only meaningful when
+  /// `was_running`.
+  struct CancelInfo {
+    bool was_running = false;
+    TimePoint started;
+    Duration consumed;
+  };
+
+  /// Queue/service position of a live job (see `status`).
+  struct Status {
+    bool running = false;
+    TimePoint started;  ///< service start; meaningful when `running`
+  };
+
   ServerPool(Simulator& sim, std::size_t servers)
       : sim_(sim), free_(servers), capacity_(servers) {
     NTCO_EXPECTS(servers > 0);
@@ -31,11 +57,49 @@ class ServerPool {
   ServerPool& operator=(const ServerPool&) = delete;
 
   /// Enqueues a job needing `service` time on one server.
-  void submit(Duration service, Completion on_done) {
+  Ticket submit(Duration service, Completion on_done) {
     NTCO_EXPECTS(!service.is_negative());
     NTCO_EXPECTS(on_done != nullptr);
-    queue_.push_back(Job{service, std::move(on_done)});
+    const Ticket ticket = next_ticket_++;
+    queue_.push_back(Job{ticket, service, std::move(on_done)});
     dispatch();
+    return ticket;
+  }
+
+  /// Removes a queued or running job. The job's completion never fires;
+  /// a freed server immediately picks up queued work. Returns nullopt if
+  /// the ticket is unknown (already completed or cancelled).
+  std::optional<CancelInfo> cancel(Ticket ticket) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->ticket != ticket) continue;
+      queue_.erase(it);
+      return CancelInfo{};
+    }
+    const auto it = running_.find(ticket);
+    if (it == running_.end()) return std::nullopt;
+    const Running run = it->second;
+    running_.erase(it);
+    sim_.cancel(run.completion);
+    CancelInfo info;
+    info.was_running = true;
+    info.started = run.started;
+    const Duration elapsed = sim_.now() - run.started;
+    info.consumed = elapsed < run.service ? elapsed : run.service;
+    // busy_time_ was charged for the full service at dispatch; refund the
+    // part that will never be rendered.
+    busy_time_ -= run.service - info.consumed;
+    ++free_;
+    dispatch();
+    return info;
+  }
+
+  /// Position of a live job: queued (nullopt `running`) or in service.
+  [[nodiscard]] std::optional<Status> status(Ticket ticket) const {
+    for (const auto& job : queue_)
+      if (job.ticket == ticket) return Status{};
+    const auto it = running_.find(ticket);
+    if (it == running_.end()) return std::nullopt;
+    return Status{true, it->second.started};
   }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -50,8 +114,15 @@ class ServerPool {
 
  private:
   struct Job {
+    Ticket ticket = 0;
     Duration service;
     Completion on_done;
+  };
+
+  struct Running {
+    EventId completion = kNoEvent;
+    TimePoint started;
+    Duration service;
   };
 
   void dispatch() {
@@ -61,14 +132,17 @@ class ServerPool {
       --free_;
       const TimePoint started = sim_.now();
       busy_time_ += job.service;
-      sim_.schedule_after(
+      const Ticket ticket = job.ticket;
+      const EventId ev = sim_.schedule_after(
           job.service,
-          [this, started, done = std::move(job.on_done)]() mutable {
+          [this, ticket, started, done = std::move(job.on_done)]() mutable {
+            running_.erase(ticket);
             ++free_;
             ++completed_;
             done(started);
             dispatch();
           });
+      running_.emplace(ticket, Running{ev, started, job.service});
     }
   }
 
@@ -76,6 +150,8 @@ class ServerPool {
   std::size_t free_;
   std::size_t capacity_;
   std::deque<Job> queue_;
+  std::map<Ticket, Running> running_;
+  Ticket next_ticket_ = 1;
   Duration busy_time_;
   std::uint64_t completed_ = 0;
 };

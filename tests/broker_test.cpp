@@ -166,6 +166,48 @@ TEST(BrokerAdmission, BacklogSpreadsRetryQuotes) {
   EXPECT_GT(d2.retry_at, d1.retry_at);
 }
 
+TEST(BrokerAdmission, CapacityProbeScalesRefillRate) {
+  AdmissionConfig cfg;
+  cfg.rate_per_second = 1.0;
+  cfg.burst = 1.0;
+  cfg.min_defer = Duration::millis(1);
+  AdmissionController adm(cfg);
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint deadline = t0 + Duration::hours(10);
+
+  double capacity = 1.0;
+  adm.set_capacity_probe([&] { return capacity; });
+
+  ASSERT_EQ(adm.decide(t0, deadline, Duration::zero()).verdict,
+            AdmissionVerdict::Admitted);
+  // Half capacity: one second refills only half a token, two seconds a
+  // full one.
+  capacity = 0.5;
+  EXPECT_EQ(adm.decide(t0 + Duration::seconds(1), deadline, Duration::zero())
+                .verdict,
+            AdmissionVerdict::Deferred);
+  adm.retry_resolved();
+  EXPECT_EQ(adm.decide(t0 + Duration::seconds(3), deadline, Duration::zero())
+                .verdict,
+            AdmissionVerdict::Admitted);
+
+  // Zero capacity stalls the refill entirely, but the retry quote stays
+  // finite (floored rate, 60-minute cap) instead of dividing by zero.
+  capacity = 0.0;
+  const auto d =
+      adm.decide(t0 + Duration::hours(1), deadline, Duration::zero());
+  EXPECT_EQ(d.verdict, AdmissionVerdict::Deferred);
+  EXPECT_LE(d.retry_at,
+            t0 + Duration::hours(1) + Duration::minutes(60));
+
+  // Clearing the probe restores the configured rate.
+  adm.retry_resolved();
+  adm.set_capacity_probe(nullptr);
+  EXPECT_EQ(adm.decide(t0 + Duration::hours(2), deadline, Duration::zero())
+                .verdict,
+            AdmissionVerdict::Admitted);
+}
+
 TEST(BrokerAdmission, ShedsWhenDeadlineTooTight) {
   AdmissionConfig cfg;
   cfg.rate_per_second = 1.0;

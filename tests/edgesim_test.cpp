@@ -83,6 +83,86 @@ TEST(EdgePlatform, StatsAccumulate) {
   EXPECT_GT(edge.stats().total_queue_wait, Duration::zero());
 }
 
+TEST(EdgeCheckpoint, ResumedJobServesOnlyRemainder) {
+  sim::Simulator s;
+  EdgePlatform edge(s, two_servers());
+  EdgeResult result;
+  edge.submit_resumed(Cycles::giga(2), Duration::millis(500),
+                      [&](const EdgeResult& r) { result = r; });
+  s.run();
+  EXPECT_FALSE(result.preempted);
+  EXPECT_EQ(result.exec_time, Duration::millis(500));
+  EXPECT_EQ(result.exec_credit, Duration::millis(500));
+  EXPECT_EQ(result.finished.since_origin(),
+            Duration::millis(500) + Duration::millis(2));
+}
+
+TEST(EdgeCheckpoint, RunningJobReportsExecPastOverhead) {
+  sim::Simulator s;
+  EdgePlatform edge(s, two_servers());
+  EdgeResult result;
+  const auto id =
+      edge.submit(Cycles::giga(2), [&](const EdgeResult& r) { result = r; });
+  s.schedule_at(TimePoint::origin() + Duration::millis(400),
+                [&] { EXPECT_TRUE(edge.checkpoint(id)); });
+  s.run();
+  EXPECT_TRUE(result.preempted);
+  // 400 ms elapsed minus the 2 ms dispatch overhead actually executed.
+  EXPECT_EQ(result.exec_time, Duration::millis(398));
+  EXPECT_EQ(edge.stats().preemptions, 1u);
+  // The server freed at checkpoint time, not at the planned completion.
+  EXPECT_EQ(edge.busy(), 0u);
+}
+
+TEST(EdgeCheckpoint, QueuedJobCheckpointsWithZeroExec) {
+  sim::Simulator s;
+  EdgePlatform edge(s, two_servers());
+  edge.submit(Cycles::giga(2), [](const EdgeResult&) {});
+  edge.submit(Cycles::giga(2), [](const EdgeResult&) {});
+  EdgeResult result;
+  const auto id =
+      edge.submit(Cycles::giga(2), [&](const EdgeResult& r) { result = r; });
+  EXPECT_EQ(edge.queued(), 1u);
+  EXPECT_TRUE(edge.checkpoint(id));
+  EXPECT_TRUE(result.preempted);
+  EXPECT_TRUE(result.exec_time.is_zero());
+  EXPECT_EQ(edge.queued(), 0u);
+  s.run();
+}
+
+TEST(EdgeCheckpoint, CheckpointThenResumeSumsToFullExec) {
+  sim::Simulator s;
+  EdgePlatform edge(s, two_servers());
+  EdgeResult first;
+  const auto id =
+      edge.submit(Cycles::giga(2), [&](const EdgeResult& r) { first = r; });
+  s.schedule_at(TimePoint::origin() + Duration::millis(400),
+                [&] { edge.checkpoint(id); });
+  s.run();
+  EdgeResult second;
+  edge.submit_resumed(Cycles::giga(2), first.exec_time,
+                      [&](const EdgeResult& r) { second = r; });
+  s.run();
+  EXPECT_FALSE(second.preempted);
+  EXPECT_EQ(first.exec_time + second.exec_time, Duration::seconds(1));
+}
+
+TEST(EdgeCheckpoint, InFlightTracksProgress) {
+  sim::Simulator s;
+  EdgePlatform edge(s, two_servers());
+  const auto id = edge.submit(Cycles::giga(2), [](const EdgeResult&) {});
+  s.schedule_at(TimePoint::origin() + Duration::millis(502), [&] {
+    const auto st = edge.in_flight(id);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_TRUE(st->executing);
+    EXPECT_EQ(st->consumed, Duration::millis(500));
+    EXPECT_EQ(st->remaining, Duration::millis(500));
+  });
+  s.run();
+  EXPECT_FALSE(edge.in_flight(id).has_value());  // completed
+  EXPECT_FALSE(edge.checkpoint(id));             // unknown by now
+}
+
 TEST(EdgePlatform, InvalidConfigRejected) {
   sim::Simulator s;
   EdgeConfig cfg = two_servers();

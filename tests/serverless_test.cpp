@@ -294,5 +294,126 @@ TEST(Platform, InvalidConfigRejected) {
   EXPECT_THROW(Platform(s, cfg), ConfigError);
 }
 
+TEST(PlatformCheckpoint, ResumeCreditsPriorExecAndBillsOnlyRemainder) {
+  sim::Simulator s;
+  Platform p(s, fast_config());
+  const auto id = p.deploy(small_fn());
+  InvocationResult res;
+  // 2 Gcycles = 1 s at this config; half of it is already done elsewhere.
+  p.resume(id, Cycles::giga(2), Duration::millis(500),
+           [&res](const InvocationResult& r) { res = r; });
+  s.run();
+  EXPECT_FALSE(res.preempted);
+  EXPECT_EQ(res.exec_time, Duration::millis(500));
+  EXPECT_EQ(res.exec_credit, Duration::millis(500));
+  EXPECT_EQ(res.cost, p.invocation_cost(DataSize::megabytes(1792),
+                                        Duration::millis(500), res.started));
+}
+
+TEST(PlatformCheckpoint, CreditBeyondFullExecClampsToImmediateCompletion) {
+  sim::Simulator s;
+  Platform p(s, fast_config());
+  const auto id = p.deploy(small_fn());
+  InvocationResult res;
+  p.resume(id, Cycles::giga(2), Duration::seconds(5),
+           [&res](const InvocationResult& r) { res = r; });
+  s.run();
+  EXPECT_FALSE(res.preempted);
+  EXPECT_EQ(res.exec_time, Duration::zero());
+}
+
+TEST(PlatformCheckpoint, PreemptBillsPartialSpotRunAtSpotRate) {
+  // The ISSUE-7 regression: a checkpointed spot run bills exactly its
+  // partial exec at the spot price, and resuming credits that exec.
+  sim::Simulator s;
+  auto cfg = fast_config();
+  cfg.spot_mean_time_to_preempt = Duration::zero();  // only forced preempts
+  Platform p(s, cfg);
+  const auto id = p.deploy(small_fn());
+  InvocationResult partial;
+  const auto inv = p.invoke(
+      id, Cycles::giga(2), [&partial](const InvocationResult& r) { partial = r; },
+      Tier::Spot);
+  // Cold start is 300 ms (10 MB at 400 Mb/s + 100 ms base); checkpoint
+  // 400 ms in, i.e. 100 ms into execution.
+  s.schedule_at(TimePoint::origin() + Duration::millis(400),
+                [&p, inv] { EXPECT_TRUE(p.checkpoint_preempt(inv)); });
+  s.run();
+  EXPECT_TRUE(partial.preempted);
+  EXPECT_EQ(partial.tier, Tier::Spot);
+  EXPECT_EQ(partial.exec_time, Duration::millis(100));
+  EXPECT_EQ(partial.cost,
+            p.invocation_cost(DataSize::megabytes(1792), Duration::millis(100),
+                              partial.started, Tier::Spot));
+  // Spot rate really is the discounted one.
+  EXPECT_LT(partial.cost,
+            p.invocation_cost(DataSize::megabytes(1792), Duration::millis(100),
+                              partial.started, Tier::OnDemand));
+
+  // Resume with the partial run credited: only the 900 ms tail runs and
+  // bills (here on-demand), so nothing is double-charged.
+  InvocationResult rest;
+  p.resume(id, Cycles::giga(2), partial.exec_time,
+           [&rest](const InvocationResult& r) { rest = r; });
+  s.run();
+  EXPECT_FALSE(rest.preempted);
+  EXPECT_EQ(rest.exec_time, Duration::millis(900));
+  EXPECT_EQ(rest.exec_credit, Duration::millis(100));
+  EXPECT_EQ(rest.cost, p.invocation_cost(DataSize::megabytes(1792),
+                                         Duration::millis(900), rest.started));
+  EXPECT_EQ(partial.exec_time + rest.exec_time, Duration::seconds(1));
+}
+
+TEST(PlatformCheckpoint, QueuedInvocationCheckpointsWithZeroExecAndCost) {
+  sim::Simulator s;
+  auto cfg = fast_config();
+  cfg.account_concurrency = 1;
+  Platform p(s, cfg);
+  const auto id = p.deploy(small_fn());
+  p.invoke(id, Cycles::giga(2), [](const InvocationResult&) {});
+  InvocationResult queued;
+  const auto second =
+      p.invoke(id, Cycles::giga(2),
+               [&queued](const InvocationResult& r) { queued = r; });
+  const auto st = p.in_flight(second);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_FALSE(st->executing);
+  EXPECT_TRUE(p.checkpoint_preempt(second));
+  EXPECT_TRUE(queued.preempted);
+  EXPECT_EQ(queued.exec_time, Duration::zero());
+  EXPECT_EQ(queued.cost, Money::zero());
+  EXPECT_FALSE(p.in_flight(second).has_value());
+  s.run();
+  EXPECT_EQ(p.stats().invocations, 2u);
+}
+
+TEST(PlatformCheckpoint, InFlightReportsExecutionProgress) {
+  sim::Simulator s;
+  Platform p(s, fast_config());
+  const auto id = p.deploy(small_fn());
+  const auto inv =
+      p.invoke(id, Cycles::giga(2), [](const InvocationResult&) {});
+  s.schedule_at(TimePoint::origin() + Duration::millis(800), [&p, inv] {
+    const auto st = p.in_flight(inv);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_TRUE(st->executing);
+    EXPECT_EQ(st->consumed, Duration::millis(500));  // 300 ms was cold start
+    EXPECT_EQ(st->remaining, Duration::millis(500));
+  });
+  s.run();
+  EXPECT_FALSE(p.in_flight(inv).has_value());
+}
+
+TEST(PlatformCheckpoint, UnknownHandleReturnsFalse) {
+  sim::Simulator s;
+  Platform p(s, fast_config());
+  const auto id = p.deploy(small_fn());
+  const auto inv =
+      p.invoke(id, Cycles::giga(2), [](const InvocationResult&) {});
+  s.run();
+  EXPECT_FALSE(p.checkpoint_preempt(inv));  // already completed
+  EXPECT_FALSE(p.checkpoint_preempt(inv + 17));
+}
+
 }  // namespace
 }  // namespace ntco::serverless

@@ -213,6 +213,70 @@ TEST(ServerPool, ZeroServiceTimeCompletesImmediately) {
   EXPECT_EQ(sim.now(), TimePoint::origin());
 }
 
+TEST(ServerPool, CancelQueuedJobNeverRuns) {
+  Simulator sim;
+  ServerPool pool(sim, 1);
+  pool.submit(Duration::millis(10), [](TimePoint) {});
+  bool ran = false;
+  const auto t = pool.submit(Duration::millis(10), [&](TimePoint) { ran = true; });
+  const auto info = pool.cancel(t);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->was_running);
+  EXPECT_TRUE(info->consumed.is_zero());
+  EXPECT_EQ(pool.queued(), 0u);
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(pool.completed(), 1u);
+}
+
+TEST(ServerPool, CancelRunningJobFreesServerAndReportsConsumed) {
+  Simulator sim;
+  ServerPool pool(sim, 1);
+  const auto t = pool.submit(Duration::millis(10), [](TimePoint) {});
+  Duration waited;
+  pool.submit(Duration::millis(5),
+              [&](TimePoint started) { waited = started.since_origin(); });
+  sim.schedule_at(TimePoint::origin() + Duration::millis(4), [&] {
+    const auto info = pool.cancel(t);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_TRUE(info->was_running);
+    EXPECT_EQ(info->consumed, Duration::millis(4));
+    EXPECT_EQ(info->started, TimePoint::origin());
+  });
+  sim.run();
+  // The queued job started the moment the cancel freed the server, and the
+  // refunded busy time only counts service actually rendered.
+  EXPECT_EQ(waited, Duration::millis(4));
+  EXPECT_EQ(pool.total_busy_time(), Duration::millis(9));
+  EXPECT_EQ(pool.completed(), 1u);
+}
+
+TEST(ServerPool, CancelUnknownTicketReturnsNullopt) {
+  Simulator sim;
+  ServerPool pool(sim, 1);
+  const auto t = pool.submit(Duration::millis(1), [](TimePoint) {});
+  sim.run();
+  EXPECT_FALSE(pool.cancel(t).has_value());  // already completed
+  EXPECT_FALSE(pool.status(t).has_value());
+}
+
+TEST(ServerPool, StatusTracksQueuedThenRunning) {
+  Simulator sim;
+  ServerPool pool(sim, 1);
+  pool.submit(Duration::millis(5), [](TimePoint) {});
+  const auto t = pool.submit(Duration::millis(5), [](TimePoint) {});
+  const auto queued = pool.status(t);
+  ASSERT_TRUE(queued.has_value());
+  EXPECT_FALSE(queued->running);
+  sim.schedule_at(TimePoint::origin() + Duration::millis(6), [&] {
+    const auto running = pool.status(t);
+    ASSERT_TRUE(running.has_value());
+    EXPECT_TRUE(running->running);
+    EXPECT_EQ(running->started, TimePoint::origin() + Duration::millis(5));
+  });
+  sim.run();
+}
+
 // --- Arena kernel: slot reuse, generations, growth -------------------------
 
 TEST(SimulatorArena, StaleIdAfterSlotReuseIsRejected) {

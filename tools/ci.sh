@@ -11,8 +11,8 @@
 #   4. run the unit/integration suite (ctest; includes LintClean again so
 #      a local `ctest` run gets the same gate)
 #   5. prove the fleet determinism contract end-to-end:
-#      bench_f5_scale_users, bench_f12_broker, and
-#      bench_f13_fabric_contention must emit byte-identical stdout and
+#      bench_f5_scale_users, bench_f12_broker, bench_f13_fabric_contention,
+#      and bench_f14_continuum must emit byte-identical stdout and
 #      NTCO_BENCH_OUT artifacts with NTCO_THREADS=1 and NTCO_THREADS=8
 #   6. run bench_micro_sim and bench_micro_fabric and compare their gated
 #      loops against the checked-in BENCH_micro_sim.json /
@@ -55,8 +55,8 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== [4/8] unit + integration tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== [5/8] fleet determinism: F5 + F12 + F13 artifacts at NTCO_THREADS=1 vs 8 =="
-for det_bench in bench_f5_scale_users bench_f12_broker bench_f13_fabric_contention; do
+echo "== [5/8] fleet determinism: F5 + F12 + F13 + F14 artifacts at NTCO_THREADS=1 vs 8 =="
+for det_bench in bench_f5_scale_users bench_f12_broker bench_f13_fabric_contention bench_f14_continuum; do
   DET_DIR="$BUILD_DIR/fleet-determinism/$det_bench"
   rm -rf "$DET_DIR"
   mkdir -p "$DET_DIR/t1" "$DET_DIR/t8"
@@ -108,12 +108,13 @@ if [ "${NTCO_CI_SKIP_SANITIZERS:-0}" = "1" ]; then
   exit 0
 fi
 
-echo "== [7/8] ThreadSanitizer: fleet + broker suites =="
+echo "== [7/8] ThreadSanitizer: fleet + broker + continuum suites =="
 cmake -B "$BUILD_DIR-tsan" -S "$SRC_DIR" \
   -DNTCO_SANITIZE=thread \
   -DNTCO_BUILD_BENCHMARKS=OFF -DNTCO_BUILD_EXAMPLES=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR-tsan" --target fleet_test broker_test fabric_test \
+cmake --build "$BUILD_DIR-tsan" \
+  --target fleet_test broker_test fabric_test continuum_test \
   -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure \
