@@ -35,8 +35,13 @@ int main() {
         serverless::FunctionSpec{"worker", kMemory, DataSize::megabytes(60)});
     cloud.set_provisioned_concurrency(fn, pool);
 
-    stats::PercentileSample latency;
-    std::uint64_t colds = 0, total = 0;
+    // One capture instead of three keeps the burst handler inside the
+    // kernel's inline buffer (lint R9), so scheduling it never allocates.
+    struct Tally {
+      stats::PercentileSample latency;
+      std::uint64_t colds = 0;
+      std::uint64_t total = 0;
+    } tally;
     Rng rng(17);
     TimePoint at = TimePoint::origin();
     for (;;) {
@@ -44,25 +49,26 @@ int main() {
                     rng.exponential(kMeanGap.to_seconds()));
       if (at.since_origin() > kHorizon) break;
       const auto burst = rng.uniform_int(1, 10);
-      sim.schedule_at(at, [&cloud, fn, kWork, burst, &latency, &colds,
-                           &total] {
+      sim.schedule_at(at, [&cloud, fn, kWork, burst, &tally] {
         for (std::int64_t i = 0; i < burst; ++i)
           cloud.invoke(fn, kWork,
                        [&](const serverless::InvocationResult& r) {
-                         latency.add((r.finished - r.submitted).to_seconds());
-                         if (r.cold_start) ++colds;
-                         ++total;
+                         tally.latency.add(
+                             (r.finished - r.submitted).to_seconds());
+                         if (r.cold_start) ++tally.colds;
+                         ++tally.total;
                        });
       });
     }
     sim.run_until(TimePoint::origin() + kHorizon + Duration::minutes(10));
 
-    t.add_row({std::to_string(pool), std::to_string(total),
-               stats::cell_pct(static_cast<double>(colds) /
-                                   static_cast<double>(total),
+    t.add_row({std::to_string(pool), std::to_string(tally.total),
+               stats::cell_pct(static_cast<double>(tally.colds) /
+                                   static_cast<double>(tally.total),
                                1),
-               stats::cell(latency.median(), 2), stats::cell(latency.p95(), 2),
-               stats::cell(latency.p99(), 2),
+               stats::cell(tally.latency.median(), 2),
+               stats::cell(tally.latency.p95(), 2),
+               stats::cell(tally.latency.p99(), 2),
                stats::cell(cloud.total_cost().to_usd(), 4)});
   }
   t.set_title("F3: bursts of 1-10 invocations every ~6 min (exp), 4 h, "

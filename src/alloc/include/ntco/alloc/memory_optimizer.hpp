@@ -2,7 +2,6 @@
 
 #include <vector>
 
-#include "ntco/common/contracts.hpp"
 #include "ntco/common/units.hpp"
 #include "ntco/serverless/platform.hpp"
 

@@ -3,7 +3,6 @@
 #include <string>
 #include <vector>
 
-#include "ntco/common/contracts.hpp"
 #include "ntco/common/units.hpp"
 
 /// \file region_selector.hpp

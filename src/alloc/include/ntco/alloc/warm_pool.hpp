@@ -2,7 +2,6 @@
 
 #include <cstddef>
 
-#include "ntco/common/contracts.hpp"
 #include "ntco/common/units.hpp"
 
 /// \file warm_pool.hpp

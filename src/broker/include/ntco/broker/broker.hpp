@@ -17,6 +17,7 @@
 #include "ntco/sched/deferred_scheduler.hpp"
 #include "ntco/serverless/platform.hpp"
 #include "ntco/sim/simulator.hpp"
+#include "ntco/stats/accumulator.hpp"
 
 /// \file broker.hpp
 /// The serving layer: one broker fronting OffloadController for a

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ntco/common/contracts.hpp"
+#include "ntco/partition/cost_model.hpp"
 
 namespace ntco::broker {
 
@@ -46,6 +47,7 @@ Duration Broker::admission_estimate(const app::TaskGraph& g) const {
 }
 
 void Broker::serve(ServeRequest req,
+                   // ntco-lint: allow(R6) type-erased API boundary: the callback is bound once per request, off the decision fast path
                    std::function<void(const ServeOutcome&)> done) {
   NTCO_EXPECTS(req.app != nullptr);
   NTCO_EXPECTS(req.battery >= 0.0 && req.battery <= 1.0);
@@ -58,6 +60,7 @@ void Broker::serve(ServeRequest req,
 
 void Broker::attempt(ServeRequest req, TimePoint released,
                      std::uint64_t deferrals,
+                     // ntco-lint: allow(R6) completion callback threaded through by move, no rebinding per hop
                      std::function<void(const ServeOutcome&)> done,
                      bool is_retry) {
   if (is_retry) admission_.retry_resolved();
@@ -72,6 +75,7 @@ void Broker::attempt(ServeRequest req, TimePoint released,
                           std::move(done));
       return;
     case AdmissionVerdict::Deferred:
+      // ntco-lint: allow(R9) deferral retry handler: runs on the admission backoff path, heap fallback is acceptable there
       sim_.schedule_at(d.retry_at, [this, req = std::move(req), released,
                                     deferrals,
                                     done = std::move(done)]() mutable {
@@ -95,6 +99,7 @@ void Broker::attempt(ServeRequest req, TimePoint released,
 
 void Broker::decide_and_dispatch(ServeRequest req, TimePoint released,
                                  std::uint64_t deferrals,
+                                 // ntco-lint: allow(R6) completion callback arrives by move from attempt(), no fresh binding
                                  std::function<void(const ServeOutcome&)> done) {
   const app::TaskGraph& g = *req.app;
   const TimePoint now = sim_.now();
@@ -120,14 +125,14 @@ void Broker::decide_and_dispatch(ServeRequest req, TimePoint released,
   bool hit = false;
   if (cfg_.cache_enabled) {
     if (const core::DeploymentPlan* found = cache_.lookup(ctx, now)) {
-      plan = std::make_shared<const core::DeploymentPlan>(*found);
+      plan = std::make_shared<const core::DeploymentPlan>(*found);  // ntco-lint: allow(R6) plan snapshot must outlive async dispatch; the cache row it copies is mutation-invalidated
       hit = true;
     }
   }
   if (plan == nullptr) {
     core::DeploymentPlan fresh = controller_.prepare(g, partitioner_, env);
-    if (cfg_.cache_enabled) cache_.insert(ctx, fresh, now);
-    plan = std::make_shared<const core::DeploymentPlan>(std::move(fresh));
+    if (cfg_.cache_enabled) cache_.insert(ctx, fresh, now);  // ntco-lint: allow(R6) cache-miss path only: one insert per newly planned workload
+    plan = std::make_shared<const core::DeploymentPlan>(std::move(fresh));  // ntco-lint: allow(R6) plan snapshot must outlive async dispatch
   }
 
   const Duration decision =
@@ -139,6 +144,7 @@ void Broker::decide_and_dispatch(ServeRequest req, TimePoint released,
     m_.decision_us->add(static_cast<double>(decision.count_micros()));
 
   // The decision itself takes simulated time; dispatch resumes after it.
+  // ntco-lint: allow(R9) dispatch continuation carries the plan handle and completion callback; deliberate heap fallback
   sim_.schedule_after(decision, [this, req = std::move(req), released,
                                  deferrals, plan = std::move(plan), hit,
                                  decision, done = std::move(done)]() mutable {
@@ -153,6 +159,7 @@ void Broker::decide_and_dispatch(ServeRequest req, TimePoint released,
 
     BatchDispatcher::Job run =
         [this, plan, truth_ptr = req.app, released, hit, decision, deferrals,
+         // ntco-lint: allow(R6) batch completion hook: bound once per dispatched job
          done = std::move(done)](std::function<void()> batch_done) mutable {
           controller_.execute_async(
               *plan, *truth_ptr,

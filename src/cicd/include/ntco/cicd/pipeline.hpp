@@ -4,9 +4,12 @@
 #include <string>
 #include <vector>
 
+#include "ntco/app/task_graph.hpp"
 #include "ntco/common/rng.hpp"
 #include "ntco/core/controller.hpp"
+#include "ntco/partition/partitioners.hpp"
 #include "ntco/profile/profiler.hpp"
+#include "ntco/sim/simulator.hpp"
 
 /// \file pipeline.hpp
 /// Offloading integrated into a CI/CD release process (the abstract's

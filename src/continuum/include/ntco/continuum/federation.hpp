@@ -13,6 +13,7 @@
 #include "ntco/obs/metrics.hpp"
 #include "ntco/obs/trace.hpp"
 #include "ntco/sim/simulator.hpp"
+#include "ntco/stats/accumulator.hpp"
 
 /// \file federation.hpp
 /// `continuum::Federation`: the multi-region/multi-tier site registry and

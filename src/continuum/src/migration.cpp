@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "ntco/common/contracts.hpp"
+#include "ntco/net/transport.hpp"
+#include "ntco/obs/trace.hpp"
 
 namespace ntco::continuum {
 

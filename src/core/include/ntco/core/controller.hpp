@@ -7,7 +7,6 @@
 #include <string>
 #include <vector>
 
-#include "ntco/alloc/memory_optimizer.hpp"
 #include "ntco/app/task_graph.hpp"
 #include "ntco/common/units.hpp"
 #include "ntco/device/device.hpp"
@@ -18,6 +17,7 @@
 #include "ntco/partition/partitioners.hpp"
 #include "ntco/serverless/platform.hpp"
 #include "ntco/sim/simulator.hpp"
+#include "ntco/stats/accumulator.hpp"
 
 /// \file controller.hpp
 /// The framework's primary public API: profile-informed partitioning,

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "ntco/alloc/memory_optimizer.hpp"
 #include "ntco/common/error.hpp"
 
 namespace ntco::core {

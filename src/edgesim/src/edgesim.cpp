@@ -1,2 +1,3 @@
 // Header-only module; see edge_platform.hpp.
+// ntco-lint: allow(R8) compile anchor: this TU exists to build the header
 #include "ntco/edgesim/edge_platform.hpp"

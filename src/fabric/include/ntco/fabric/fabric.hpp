@@ -6,7 +6,6 @@
 #include <string>
 #include <vector>
 
-#include "ntco/common/contracts.hpp"
 #include "ntco/common/units.hpp"
 #include "ntco/net/transport.hpp"
 #include "ntco/obs/trace.hpp"
@@ -198,6 +197,14 @@ class Fabric {
   obs::TraceSink* trace_ = nullptr;
   FabricStats stats_;
   std::uint64_t next_flow_ = 0;
+
+  /// admit() scratch, hoisted off the per-flow path: sized to the route
+  /// width, so after the first admission over the widest route no
+  /// admission allocates.
+  std::vector<double> scratch_capacity_;
+  std::vector<std::multiset<TimePoint>::const_iterator> scratch_cursor_;
+  std::vector<std::multiset<TimePoint>::const_iterator> scratch_last_;
+  std::vector<std::size_t> scratch_ahead_;
 };
 
 /// Flow-backed, contention-aware Transport over a Fabric. Created by

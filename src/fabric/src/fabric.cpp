@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "ntco/common/contracts.hpp"
+
 namespace ntco::fabric {
 
 namespace {
@@ -37,7 +39,7 @@ SegmentId Fabric::add_segment(SegmentSpec spec) {
   NTCO_EXPECTS(!spec.capacity.is_zero());
   NTCO_EXPECTS(!spec.latency.is_negative());
   const auto id = static_cast<SegmentId>(segments_.size());
-  segments_.push_back(Segment{std::move(spec), {}, {}});
+  segments_.push_back(Segment{std::move(spec), {}, {}});  // ntco-lint: allow(R6) topology construction, runs before any flow is served
   return id;
 }
 
@@ -56,7 +58,7 @@ std::unique_ptr<FabricPath> Fabric::attach(const net::PathSpec& spec,
   NTCO_EXPECTS(!spec.up.rate.is_zero() && !spec.down.rate.is_zero());
   for (const SegmentId id : route.up) NTCO_EXPECTS(id < segments_.size());
   for (const SegmentId id : route.down) NTCO_EXPECTS(id < segments_.size());
-  return std::unique_ptr<FabricPath>(
+  return std::unique_ptr<FabricPath>(  // ntco-lint: allow(R6) one-time path attach (private ctor bars make_unique), not the per-flow path
       new FabricPath(*this, spec, std::move(route)));
 }
 
@@ -125,12 +127,18 @@ Duration Fabric::admit(const std::vector<SegmentId>& segs, DataSize bytes,
   ++stats_.reshare_events;  // the arrival itself re-shares its route
 
   // Route-local view of the committed departures: per-segment cursor over
-  // the ordered multiset plus the count of flows still ahead.
+  // the ordered multiset plus the count of flows still ahead. The scratch
+  // members are reused across admissions; they grow to the widest route
+  // once and every later admission is allocation-free.
   const std::size_t width = segs.size();
-  std::vector<double> capacities(width);
-  std::vector<std::multiset<TimePoint>::const_iterator> cursor(width);
-  std::vector<std::multiset<TimePoint>::const_iterator> last(width);
-  std::vector<std::size_t> ahead(width);
+  scratch_capacity_.resize(width);  // ntco-lint: allow(R6) amortized: grows to the widest route once, then admissions reuse the capacity
+  scratch_cursor_.resize(width);  // ntco-lint: allow(R6) amortized: grows to the widest route once, then admissions reuse the capacity
+  scratch_last_.resize(width);  // ntco-lint: allow(R6) amortized: grows to the widest route once, then admissions reuse the capacity
+  scratch_ahead_.resize(width);  // ntco-lint: allow(R6) amortized: grows to the widest route once, then admissions reuse the capacity
+  std::vector<double>& capacities = scratch_capacity_;
+  auto& cursor = scratch_cursor_;
+  auto& last = scratch_last_;
+  auto& ahead = scratch_ahead_;
   for (std::size_t i = 0; i < width; ++i) {
     const Segment& seg = segments_[segs[i]];
     capacities[i] = static_cast<double>(seg.spec.capacity.count_bps());
@@ -199,7 +207,7 @@ Duration Fabric::admit(const std::vector<SegmentId>& segs, DataSize bytes,
 
   for (const SegmentId id : segs) {
     Segment& seg = segments_[id];
-    seg.departures.insert(finish);
+    seg.departures.insert(finish);  // ntco-lint: allow(R6) departure book, one node per in-flight flow; pooled-node multiset is a ROADMAP item
     ++seg.stats.flows_admitted;
     seg.stats.bytes_carried += bytes;
     seg.stats.peak_flows = std::max(seg.stats.peak_flows,

@@ -6,21 +6,28 @@
 #include <vector>
 
 /// \file lint.hpp
-/// `ntco-lint`: repo-specific determinism & layering static analysis.
+/// `ntco-lint` v2: repo-specific determinism, layering, and hot-path static
+/// analysis — a two-phase, cross-file analyzer.
 ///
-/// The fleet engine promises byte-identical merged artifacts at any
-/// `NTCO_THREADS`. That contract is enforced dynamically by tools/ci.sh
-/// (artifact diffs), but a dynamic gate only covers the inputs CI happens to
-/// run. This analyzer makes the contract statically checkable on every
-/// source file:
+/// **Phase 1** builds a per-file index: the stripped token stream (comments
+/// and string/char literals blanked, raw strings with arbitrary delimiters
+/// handled), the `ntco/` include edges, the `ntco::` symbols a header
+/// declares and a file uses (brace/namespace tracking separates
+/// namespace-scope declarations from locals), the string literals reaching
+/// `obs` telemetry calls, hot-path region markers, suppression directives,
+/// and the file-local rule findings. Phase-1 results are cacheable by
+/// content hash (see `run` with a cache path), so warm full-tree runs stay
+/// well under a second.
+///
+/// **Phase 2** runs the cross-file rules over the combined index and
+/// applies suppressions uniformly:
 ///
 ///   R1  no nondeterminism sources (`std::random_device`, `rand`, wall
 ///       clocks, `getenv`, raw `<random>` engines) outside a small
 ///       sanctioned allowlist (rng.hpp, thread_pool.cpp, bench harness),
 ///   R2  no *iteration* over `std::unordered_map` / `std::unordered_set`
 ///       (range-for, or `.begin()` inside a `for` header) — declaration and
-///       point lookup stay legal; sorted extraction (copying the container
-///       out and sorting) stays legal,
+///       point lookup stay legal; sorted extraction stays legal,
 ///   R3  no threading primitives outside `src/fleet/`,
 ///   R4  module layering: every `#include <ntco/MOD/...>` edge must be a
 ///       forward edge of the declared module DAG (reachability over direct
@@ -28,7 +35,27 @@
 ///       *declared* DAG is itself an error,
 ///   R5  no floating-point `+=` accumulation of values obtained from
 ///       unordered containers (`m[k]`, `m.at(k)`), whose visitation order
-///       is not shard-ordered.
+///       is not shard-ordered,
+///   R6  no allocation on the serving hot path: inside regions bracketed by
+///       `hotpath begin` / `hotpath end` directives (or files listed in
+///       tools/lint_hotpath.txt) `new`, `make_shared`/`make_unique`,
+///       `std::function` construction, and growth-prone container ops
+///       (`push_back`, `insert`, `resize`, ...) are findings,
+///   R7  telemetry-name contract: every string literal reaching
+///       `obs::emit(...)` / `counter(...)` / `gauge(...)` / `summary(...)`
+///       / `histogram(...)` / `trace_event(...)` under src/ must appear in
+///       the central registry `src/obs/include/ntco/obs/names.hpp` with the
+///       matching kind, and the registry must contain no dead or duplicate
+///       names,
+///   R8  include hygiene (IWYU-lite): an `ntco/` header include is stale if
+///       none of the header's declared symbols are used in the including
+///       file; a qualified use (`mod::Symbol`) whose unique declaring
+///       header is not directly included is a missing include,
+///   R9  kernel-handler SBO audit: lambdas passed to `schedule_at` /
+///       `schedule_after` must fit the 48-byte `InlineFunction` buffer
+///       (capture-list size heuristics) and must not copy-capture
+///       allocating containers; `allow(R9)` is the escape hatch for
+///       deliberate heap-fallback handlers.
 ///
 /// Diagnostics are `file:line: [Rn] message`. Inline suppression:
 ///
@@ -37,9 +64,18 @@
 /// The directive covers its own line and the next line, the reason is
 /// mandatory (a missing reason is itself a `[sup]` diagnostic and the
 /// suppression does not apply), and every honoured suppression is counted
-/// in the report. A checked-in baseline (tools/lint_baseline.txt) lets
-/// pre-existing debt fail closed only when it grows: baseline entries are
-/// line-number-free fingerprints, so unrelated edits do not churn it.
+/// in the report. A suppression that silences nothing is *stale* and
+/// reported separately (`Report::stale_suppressions`; `--fail-stale` in the
+/// CLI turns it into a gate), so dead allow-comments cannot accumulate.
+/// Hot-path regions use the same marker:
+///
+///   // ntco-lint: hotpath begin
+///   ...allocation-free code...
+///   // ntco-lint: hotpath end
+///
+/// A checked-in baseline (tools/lint_baseline.txt) lets pre-existing debt
+/// fail closed only when it grows: baseline entries are line-number-free
+/// fingerprints, so unrelated edits do not churn it.
 ///
 /// The analyzer is token/regex-plus-context, not a real C++ front end: it
 /// strips comments and string/char literals, then pattern-matches with
@@ -48,10 +84,11 @@
 
 namespace ntco::lint {
 
-/// Rule identifiers. `Sup` is the meta-rule for malformed suppressions.
-enum class Rule : std::uint8_t { R1, R2, R3, R4, R5, Sup };
+/// Rule identifiers. `Sup` is the meta-rule for malformed suppressions and
+/// unmatched hot-path markers.
+enum class Rule : std::uint8_t { R1, R2, R3, R4, R5, R6, R7, R8, R9, Sup };
 
-/// "R1".."R5", or "sup".
+/// "R1".."R9", or "sup".
 [[nodiscard]] const char* rule_name(Rule r);
 
 struct Diagnostic {
@@ -94,26 +131,47 @@ struct Config {
   /// Files under bench/, tests/, examples/, tools/ map to the pseudo
   /// module "top", which may include everything.
   std::map<std::string, std::vector<std::string>> dag;
+  /// R6: relative-path prefixes whose *whole files* are hot-path regions.
+  /// default_config() seeds this from tools/lint_hotpath.txt when present.
+  std::vector<std::string> hotpath_files;
+  /// R7: path (relative to root) of the telemetry-name registry. Missing
+  /// file disables R7 (fixture trees carry their own registry).
+  std::string names_registry = "src/obs/include/ntco/obs/names.hpp";
+  /// R7/R8 apply to files under these prefixes (production sources only:
+  /// tests and benches mint ad-hoc names and include convenience-first).
+  std::vector<std::string> r7_scope{"src/"};
+  std::vector<std::string> r8_scope{"src/"};
 };
 
 /// Config with the repo's declared DAG and allowlists, rooted at `root`.
+/// Loads tools/lint_hotpath.txt under `root` into `hotpath_files` if the
+/// file exists.
 [[nodiscard]] Config default_config(std::string root);
 
 struct Report {
   std::vector<Diagnostic> diagnostics;  ///< unsuppressed findings
   std::vector<Suppression> suppressions;
+  /// Directives that silenced nothing this run: dead allow-comments whose
+  /// rule no longer fires at their site.
+  std::vector<Suppression> stale_suppressions;
   std::size_t files_scanned = 0;
+  std::size_t cache_hits = 0;    ///< phase-1 indexes reused from the cache
+  std::size_t cache_misses = 0;  ///< files (re)analyzed this run
 };
 
 /// Analyzes one file's `contents` as `rel_path` under `cfg`, appending to
-/// `out`. Exposed so the fixture tests can drive single files. Throws
-/// std::runtime_error if cfg.dag is cyclic.
+/// `out`. Exposed so the fixture tests can drive single files; cross-file
+/// rules degrade gracefully (R8 can only see this one file's declarations).
+/// Throws std::runtime_error if cfg.dag is cyclic.
 void analyze_source(const Config& cfg, const std::string& rel_path,
                     const std::string& contents, Report& out);
 
-/// Walks cfg.roots under cfg.root (deterministic path order) and analyzes
-/// every C++ source file (.hpp/.cpp/.h/.cc/.hxx/.cxx).
-[[nodiscard]] Report run(const Config& cfg);
+/// Walks cfg.roots under cfg.root (deterministic path order), indexes every
+/// C++ source file (.hpp/.cpp/.h/.cc/.hxx/.cxx), and runs both phases.
+/// With a non-empty `cache_path`, phase-1 indexes are reused for files
+/// whose content hash (and the config hash) match the cache, and the cache
+/// is rewritten after the run.
+[[nodiscard]] Report run(const Config& cfg, const std::string& cache_path = "");
 
 /// Multiset of diagnostic fingerprints. Text format: one fingerprint per
 /// line; blank lines and '#' comments ignored; duplicate lines absorb that
@@ -138,8 +196,39 @@ class Baseline {
 };
 
 /// Machine-readable report: scanned/diagnostic/suppression counts, every
-/// diagnostic (with its baseline status), and every suppression.
+/// diagnostic (with its baseline status), every suppression, and the stale
+/// suppressions.
 [[nodiscard]] std::string to_json(const Report& report,
                                   const std::vector<Diagnostic>& fresh);
+
+/// SARIF 2.1.0 report (one run, rules R1-R9 + sup). Fresh diagnostics are
+/// level "error", baselined ones "note" — CI uploaders can render both.
+[[nodiscard]] std::string to_sarif(const Report& report,
+                                   const std::vector<Diagnostic>& fresh);
+
+// ---------------------------------------------------------------------------
+// Telemetry-name registry (R7).
+
+/// One row of src/obs/include/ntco/obs/names.hpp:
+///   NTCO_OBS_NAME(kIdent, kind, "dotted.name", "field, field")
+struct ObsNameEntry {
+  std::string ident;   ///< C++ constant name, e.g. "kSimEventFired"
+  std::string kind;    ///< trace | counter | gauge | summary | histogram
+  std::string name;    ///< the wire name, e.g. "sim.event.fired"
+  std::string fields;  ///< documented fields / unit note (may be empty)
+  int line = 0;        ///< 1-based line of the entry in the registry
+};
+
+/// Parses the registry. Returns an empty vector if the file is missing;
+/// malformed rows are skipped (R7 reports duplicates/dead names — syntax
+/// errors in the registry surface as dead call-site names).
+[[nodiscard]] std::vector<ObsNameEntry> load_names_registry(
+    const std::string& path);
+
+/// Renders the registry as the two markdown tables embedded in DESIGN.md
+/// ("Trace events" with fields, then metrics grouped by kind) — the tables
+/// are generated from the registry, never hand-maintained.
+[[nodiscard]] std::string names_markdown(
+    const std::vector<ObsNameEntry>& entries);
 
 }  // namespace ntco::lint

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -10,6 +12,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace ntco::lint {
@@ -38,16 +41,24 @@ bool starts_with_any(const std::string& path,
   return false;
 }
 
+std::uint64_t fnv1a(const std::string& s, std::uint64_t h = 14695981039346656037ULL) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 // ---------------------------------------------------------------------------
 // Pass 1: strip comments and string/char literals.
 //
 // The token rules must not fire on prose ("std::thread is banned here") or
 // on pattern strings, so everything inside comments and literals is blanked
-// to spaces before matching. Line structure is preserved so diagnostics can
-// report 1-based line numbers. Handles //, /*...*/, "...", '...', and the
-// empty-delimiter raw string R"(...)" form; exotic raw-string delimiters
-// are rare enough in this tree (currently absent) to leave to R2's fixture
-// suite if they ever appear.
+// to spaces before matching. Line structure and column positions are
+// preserved so diagnostics can report 1-based line numbers and the obs-name
+// extractor can read literals back out of the raw line at a known column.
+// Handles //, /*...*/, "...", '...', and raw strings with arbitrary
+// delimiters (R"(...)", R"x(...)x", R"ntco(...)ntco").
 
 std::vector<std::string> split_lines(const std::string& text) {
   std::vector<std::string> lines;
@@ -67,6 +78,7 @@ std::vector<std::string> split_lines(const std::string& text) {
 std::vector<std::string> strip_code(const std::vector<std::string>& raw) {
   enum class St { Code, Block, Str, Chr, Raw };
   St st = St::Code;
+  std::string raw_close;  // ")delim\"" — the sequence ending the raw string
   std::vector<std::string> out;
   out.reserve(raw.size());
   for (const std::string& line : raw) {
@@ -81,15 +93,48 @@ std::vector<std::string> strip_code(const std::vector<std::string>& raw) {
           } else if (c == '/' && n == '*') {
             st = St::Block;
             ++i;
-          } else if (c == 'R' && n == '"' && i + 2 < line.size() &&
-                     line[i + 2] == '(' &&
+          } else if (c == 'R' && n == '"' &&
                      (i == 0 || !is_ident(line[i - 1]))) {
-            st = St::Raw;
-            i += 2;
+            // R"delim( — the delimiter is 0..16 chars, none of which may be
+            // a space, backslash, or paren (per the grammar).
+            std::size_t j = i + 2;
+            std::string delim;
+            bool valid = true;
+            while (j < line.size() && line[j] != '(') {
+              const char d = line[j];
+              if (delim.size() >= 16 || d == ')' || d == '\\' || d == '"' ||
+                  std::isspace(static_cast<unsigned char>(d)) != 0) {
+                valid = false;
+                break;
+              }
+              delim.push_back(d);
+              ++j;
+            }
+            if (valid && j < line.size() && line[j] == '(') {
+              st = St::Raw;
+              raw_close = ")" + delim + "\"";
+              i = j;  // loop's ++i steps past '('
+            } else {
+              s[i] = c;  // not actually a raw-string opener
+            }
           } else if (c == '"') {
             st = St::Str;
           } else if (c == '\'') {
-            st = St::Chr;
+            // Digit separator (16'667, 0xDEAD'BEEF): a quote between two
+            // hex digits is not a char literal — except the u8'x' prefix,
+            // where the '8' before the quote belongs to `u8`.
+            const auto hexish = [](char d) {
+              return std::isdigit(static_cast<unsigned char>(d)) != 0 ||
+                     (d >= 'a' && d <= 'f') || (d >= 'A' && d <= 'F');
+            };
+            const bool u8_prefix = i >= 2 && line[i - 1] == '8' &&
+                                   line[i - 2] == 'u' &&
+                                   (i < 3 || !is_ident(line[i - 3]));
+            if (i > 0 && hexish(line[i - 1]) && hexish(n) && !u8_prefix) {
+              s[i] = c;  // separator: keep it as code
+            } else {
+              st = St::Chr;
+            }
           } else {
             s[i] = c;
           }
@@ -115,15 +160,16 @@ std::vector<std::string> strip_code(const std::vector<std::string>& raw) {
           }
           break;
         case St::Raw:
-          if (c == ')' && n == '"') {
+          if (line.compare(i, raw_close.size(), raw_close) == 0) {
             st = St::Code;
-            ++i;
+            i += raw_close.size() - 1;
           }
           break;
       }
     }
     // Unterminated " or ' at end of line: treat as closed (not valid C++
-    // anyway; keeps the stripper from eating the rest of the file).
+    // anyway; keeps the stripper from eating the rest of the file). Raw
+    // strings legitimately span lines, so St::Raw persists.
     if (st == St::Str || st == St::Chr) st = St::Code;
     out.push_back(std::move(s));
   }
@@ -189,6 +235,32 @@ bool match_token(const std::string& s, const Token& t, std::size_t* at) {
   return false;
 }
 
+// Like Call matching but *member access is allowed* on the left — used for
+// telemetry APIs (`registry.counter(`) and kernel entry points
+// (`sim.schedule_at(`), where the receiver is the point.
+bool match_member_call(const std::string& s, const std::string& pat,
+                       std::size_t from, std::size_t* at) {
+  std::size_t pos = from;
+  while ((pos = s.find(pat, pos)) != std::string::npos) {
+    const std::size_t end = pos + pat.size();
+    const bool left = pos == 0 || !is_ident(s[pos - 1]);
+    bool ok = left && !(end < s.size() && is_ident(s[end]));
+    if (ok) {
+      std::size_t j = end;
+      while (j < s.size() &&
+             std::isspace(static_cast<unsigned char>(s[j])) != 0)
+        ++j;
+      ok = j < s.size() && s[j] == '(';
+      if (ok) {
+        *at = pos;
+        return true;
+      }
+    }
+    pos = end;
+  }
+  return false;
+}
+
 // R1: nondeterminism sources. Wall clocks, process environment, and raw
 // <random> machinery; everything stochastic must flow through ntco::Rng and
 // everything temporal through sim::Simulator::now().
@@ -218,6 +290,21 @@ const Token kR3Tokens[] = {
     {"std::promise", Kind::Word},    {"std::barrier", Kind::Word},
     {"std::latch", Kind::Word},
     {"std::counting_semaphore", Kind::Prefix},
+};
+
+// R6: direct allocation calls banned inside hot-path regions.
+const Token kR6Alloc[] = {
+    {"new", Kind::Word},
+    {"make_shared", Kind::Prefix},
+    {"make_unique", Kind::Prefix},
+    {"std::function", Kind::Word},
+};
+
+// R6: growth-prone container member ops (matched as `.op(` / `->op(`).
+const char* kR6Growth[] = {
+    "push_back", "emplace_back", "push_front", "emplace_front",
+    "emplace",   "insert",       "resize",     "reserve",
+    "append",
 };
 
 // ---------------------------------------------------------------------------
@@ -284,7 +371,74 @@ std::string trailing_ident(const std::string& expr) {
 }
 
 // ---------------------------------------------------------------------------
-// R4: module layering.
+// R9 support: sizes of common capture types (x86-64 libstdc++ layouts) and
+// whether copying one allocates.
+
+struct TypeInfo {
+  int size;
+  bool alloc_on_copy;
+};
+
+const std::pair<const char*, TypeInfo> kR9Types[] = {
+    {"std::string", {32, true}},     {"std::vector", {24, true}},
+    {"std::function", {32, true}},   {"std::deque", {80, true}},
+    {"std::map", {48, true}},        {"std::set", {48, true}},
+    {"std::multiset", {48, true}},   {"std::multimap", {48, true}},
+    {"std::shared_ptr", {16, false}}, {"std::weak_ptr", {16, false}},
+    {"std::unique_ptr", {8, false}},
+};
+
+// Map of variable name -> TypeInfo for every declaration in the file whose
+// type prefix is in kR9Types. Heuristic: find the type token, skip balanced
+// template args, skip cv/ref/ptr, take the identifier.
+std::map<std::string, TypeInfo> r9_var_types(
+    const std::vector<std::string>& code) {
+  std::map<std::string, TypeInfo> vars;
+  std::string all;
+  for (const auto& l : code) {
+    all += l;
+    all += '\n';
+  }
+  for (const auto& [pat_c, info] : kR9Types) {
+    const std::string pat(pat_c);
+    std::size_t pos = 0;
+    while ((pos = all.find(pat, pos)) != std::string::npos) {
+      std::size_t i = pos + pat.size();
+      pos = i;
+      if (i < all.size() && is_ident(all[i])) continue;  // std::stringstream
+      if (i < all.size() && all[i] == '<') {
+        int depth = 0;
+        for (; i < all.size(); ++i) {
+          if (all[i] == '<') ++depth;
+          if (all[i] == '>' && --depth == 0) break;
+        }
+        if (i >= all.size()) continue;
+        ++i;
+      }
+      for (;;) {
+        while (i < all.size() &&
+               (std::isspace(static_cast<unsigned char>(all[i])) != 0 ||
+                all[i] == '&' || all[i] == '*'))
+          ++i;
+        if (all.compare(i, 5, "const") == 0 &&
+            (i + 5 >= all.size() || !is_ident(all[i + 5]))) {
+          i += 5;
+          continue;
+        }
+        break;
+      }
+      std::string name;
+      while (i < all.size() && is_ident(all[i])) name.push_back(all[i++]);
+      if (!name.empty() &&
+          std::isdigit(static_cast<unsigned char>(name[0])) == 0)
+        vars.emplace(name, info);
+    }
+  }
+  return vars;
+}
+
+// ---------------------------------------------------------------------------
+// R4/R8: module layering and include edges.
 
 std::string module_of(const std::string& rel_path) {
   if (rel_path.rfind("src/", 0) == 0) {
@@ -329,9 +483,10 @@ std::map<std::string, std::set<std::string>> dag_closure(
   return closure;
 }
 
-// ntco include target on a raw line, or "" — raw because the include path
-// is a string/angle literal and the stripper blanks both.
-std::string ntco_include(const std::string& raw) {
+// Full ntco include target on a raw line ("ntco/sim/simulator.hpp"), or ""
+// — raw because the include path is a string/angle literal and the stripper
+// blanks both.
+std::string ntco_include_path(const std::string& raw) {
   // Only a real preprocessor directive counts: '#' must be the first
   // non-space character, so prose like `every #include <ntco/...> edge`
   // in a doc comment does not register an edge.
@@ -344,19 +499,32 @@ std::string ntco_include(const std::string& raw) {
   if (pos != first) return "";
   pos = raw.find("ntco/", pos);
   if (pos == std::string::npos) return "";
-  const std::size_t end = raw.find('/', pos + 5);
+  const std::size_t end = raw.find_first_of(">\"", pos);
   if (end == std::string::npos) return "";
-  return raw.substr(pos + 5, end - pos - 5);
+  const std::string path = raw.substr(pos, end - pos);
+  return path.find('/', 5) == std::string::npos ? "" : path;
 }
 
 // ---------------------------------------------------------------------------
-// Suppression directives.
+// Directives: allow(...) suppressions and hotpath region markers.
+
+struct Finding {
+  int line;
+  Rule rule;
+  std::string message;
+  std::string detail;  // fingerprint tail
+};
 
 struct Directive {
-  int line;            // 1-based line it sits on
+  int line = 0;  // 1-based line it sits on
   std::set<Rule> rules;
   std::string rules_text;
   std::string reason;
+};
+
+struct HotMark {
+  int line = 0;
+  bool begin = false;
 };
 
 Rule parse_rule(const std::string& r, bool* ok) {
@@ -366,6 +534,10 @@ Rule parse_rule(const std::string& r, bool* ok) {
   if (r == "R3") return Rule::R3;
   if (r == "R4") return Rule::R4;
   if (r == "R5") return Rule::R5;
+  if (r == "R6") return Rule::R6;
+  if (r == "R7") return Rule::R7;
+  if (r == "R8") return Rule::R8;
+  if (r == "R9") return Rule::R9;
   *ok = false;
   return Rule::Sup;
 }
@@ -377,10 +549,10 @@ const std::string& marker() {
   return m;
 }
 
-std::vector<Directive> find_directives(const std::vector<std::string>& raw,
-                                       const std::string& rel_path,
-                                       Report& out) {
-  std::vector<Directive> dirs;
+void parse_directives(const std::vector<std::string>& raw,
+                      std::vector<Directive>* dirs,
+                      std::vector<HotMark>* marks,
+                      std::vector<Finding>* sup) {
   for (std::size_t li = 0; li < raw.size(); ++li) {
     const std::string& line = raw[li];
     std::size_t pos = line.find(marker());
@@ -394,13 +566,29 @@ std::vector<Directive> find_directives(const std::vector<std::string>& raw,
     while (pos < line.size() &&
            std::isspace(static_cast<unsigned char>(line[pos])) != 0)
       ++pos;
+    const int lineno = static_cast<int>(li + 1);
+    const std::string hot_kw = "hotpath";
+    if (line.compare(pos, hot_kw.size(), hot_kw) == 0 &&
+        (pos + hot_kw.size() >= line.size() ||
+         !is_ident(line[pos + hot_kw.size()]))) {
+      const std::string rest = trim(line.substr(pos + hot_kw.size()));
+      if (rest == "begin" || rest == "end") {
+        marks->push_back({lineno, rest == "begin"});
+      } else {
+        sup->push_back({lineno, Rule::Sup,
+                        "malformed hotpath marker '" + rest +
+                            "' — expected 'begin' or 'end'",
+                        "hotpath-bad"});
+      }
+      continue;
+    }
     const std::string allow_kw = "allow(";
     if (line.compare(pos, allow_kw.size(), allow_kw) != 0) continue;
     pos += allow_kw.size();
     const std::size_t close = line.find(')', pos);
     if (close == std::string::npos) continue;
     Directive d;
-    d.line = static_cast<int>(li + 1);
+    d.line = lineno;
     d.rules_text = line.substr(pos, close - pos);
     std::stringstream ss(d.rules_text);
     std::string item;
@@ -415,47 +603,527 @@ std::vector<Directive> find_directives(const std::vector<std::string>& raw,
     }
     d.reason = trim(line.substr(close + 1));
     if (!all_ok || d.rules.empty()) {
-      out.diagnostics.push_back(
-          {rel_path, d.line, Rule::Sup,
-           "malformed suppression: unknown rule list '" + d.rules_text + "'",
-           rel_path + "|sup|bad-rules"});
+      sup->push_back({lineno, Rule::Sup,
+                      "malformed suppression: unknown rule list '" +
+                          d.rules_text + "'",
+                      "bad-rules"});
       continue;
     }
     if (d.reason.empty()) {
       // Fail closed: a reasonless allow() is a diagnostic, not a licence.
-      out.diagnostics.push_back(
-          {rel_path, d.line, Rule::Sup,
-           "suppression for (" + d.rules_text +
-               ") is missing its mandatory reason",
-           rel_path + "|sup|" + d.rules_text});
+      sup->push_back({lineno, Rule::Sup,
+                      "suppression for (" + d.rules_text +
+                          ") is missing its mandatory reason",
+                      d.rules_text});
       continue;
     }
-    dirs.push_back(std::move(d));
+    dirs->push_back(std::move(d));
   }
-  return dirs;
 }
 
 // ---------------------------------------------------------------------------
-// File analysis.
+// The per-file index: everything phase 2 needs, cheap to cache.
 
-struct Finding {
-  int line;
-  Rule rule;
-  std::string message;
-  std::string detail;  // fingerprint tail
+struct IncludeEdge {
+  int line = 0;
+  std::string path;  // "ntco/MOD/name.hpp"
 };
 
-void analyze_impl(const Config& cfg,
-                  const std::map<std::string, std::set<std::string>>& closure,
-                  const std::string& rel_path, const std::string& contents,
-                  Report& out) {
+struct QualUse {
+  std::string ns;   // left of '::', e.g. "sim"
+  std::string sym;  // right of '::', e.g. "Simulator"
+  int line = 0;     // first use
+};
+
+struct ObsUse {
+  int line = 0;
+  std::string api;   // emit | trace_event | counter | gauge | ...
+  std::string name;  // the literal, e.g. "sim.event.fired"
+};
+
+struct FileIndex {
+  std::string rel_path;
+  std::string module;
+  std::uint64_t hash = 0;
+  std::vector<Finding> local;  // R1 R2 R3 R5 R6 R9 + Sup findings
+  std::vector<Directive> dirs;
+  std::vector<HotMark> marks;  // kept for cache round-tripping only
+  std::vector<IncludeEdge> includes;
+  std::vector<std::string> declared;  // namespace-scope symbols (headers)
+  std::vector<std::string> used;      // sorted unique identifiers used
+  std::vector<QualUse> qualified;     // unique (ns, sym) uses
+  std::vector<ObsUse> obs_uses;
+};
+
+// ---------------------------------------------------------------------------
+// R8 support: namespace-scope symbols a header declares.
+//
+// Brace tracking distinguishes namespace braces ('n') from everything else
+// ('b'); declarations are only collected while every open brace is a
+// namespace. This is a heuristic, not a parser: over-collection only
+// weakens stale-include detection (safe direction), and headers whose
+// declarations we cannot see at all (empty set) are skipped by R8 entirely.
+
+bool is_keyword_name(const std::string& n) {
+  static const std::set<std::string> kw{
+      "if",       "for",      "while",    "switch",   "return",
+      "sizeof",   "alignof",  "decltype", "noexcept", "operator",
+      "throw",    "catch",    "static_assert",        "defined",
+      "new",      "delete",   "co_await", "requires", "alignas",
+  };
+  return kw.count(n) != 0;
+}
+
+// First identifier at or after `pos`, skipping [[attributes]].
+std::string ident_after(const std::string& s, std::size_t pos) {
+  while (pos < s.size()) {
+    if (s.compare(pos, 2, "[[") == 0) {
+      const std::size_t close = s.find("]]", pos);
+      if (close == std::string::npos) return "";
+      pos = close + 2;
+      continue;
+    }
+    if (is_ident(s[pos]) &&
+        std::isdigit(static_cast<unsigned char>(s[pos])) == 0)
+      break;
+    ++pos;
+  }
+  std::string name;
+  while (pos < s.size() && is_ident(s[pos])) name.push_back(s[pos++]);
+  return name;
+}
+
+void collect_decls_from_stmt(const std::string& stmt,
+                             std::set<std::string>* out) {
+  const std::string t = trim(stmt);
+  if (t.empty() || t[0] == '#') return;
+
+  // using X = ...;  /  using ns::X;  (never `using namespace ...`)
+  if (t.rfind("using", 0) == 0 && (t.size() == 5 || !is_ident(t[5]))) {
+    const std::string rest = trim(t.substr(5));
+    if (rest.rfind("namespace", 0) == 0) return;
+    const std::size_t eq = rest.find('=');
+    std::string name;
+    if (eq != std::string::npos) {
+      name = trailing_ident(rest.substr(0, eq));
+    } else {
+      name = trailing_ident(rest);
+    }
+    if (!name.empty() && !is_keyword_name(name)) out->insert(name);
+    return;
+  }
+
+  // class X / struct X / enum [class] X — skip template parameter uses
+  // (`template <class T>`), where the keyword follows '<' or ','.
+  for (const char* kw : {"class", "struct", "enum"}) {
+    const std::string pat(kw);
+    std::size_t pos = 0;
+    while ((pos = t.find(pat, pos)) != std::string::npos) {
+      const std::size_t end = pos + pat.size();
+      const bool bounded =
+          (pos == 0 || !is_ident(t[pos - 1])) &&
+          (end >= t.size() || !is_ident(t[end]));
+      std::size_t prev = pos;
+      while (prev > 0 &&
+             std::isspace(static_cast<unsigned char>(t[prev - 1])) != 0)
+        --prev;
+      const bool tmpl_param =
+          prev > 0 && (t[prev - 1] == '<' || t[prev - 1] == ',');
+      pos = end;
+      if (!bounded || tmpl_param) continue;
+      std::string name = ident_after(t, end);
+      if (name == "class") name = ident_after(t, t.find("class", end) + 5);
+      if (!name.empty() && name != "final" && !is_keyword_name(name))
+        out->insert(name);
+      break;
+    }
+  }
+
+  // Free function: last identifier before the first '(' whose previous
+  // non-space char closes a return type (identifier char, '>', '&', '*').
+  const std::size_t paren = t.find('(');
+  const std::size_t eq_top = t.find('=');
+  if (paren != std::string::npos && paren > 0 &&
+      (eq_top == std::string::npos || paren < eq_top)) {
+    std::size_t e = paren;
+    while (e > 0 && std::isspace(static_cast<unsigned char>(t[e - 1])) != 0)
+      --e;
+    std::size_t b = e;
+    while (b > 0 && is_ident(t[b - 1])) --b;
+    if (b < e) {
+      std::size_t prev = b;
+      while (prev > 0 &&
+             std::isspace(static_cast<unsigned char>(t[prev - 1])) != 0)
+        --prev;
+      const bool typed_before =
+          prev > 0 && (is_ident(t[prev - 1]) || t[prev - 1] == '>' ||
+                       t[prev - 1] == '&' || t[prev - 1] == '*');
+      const std::string name = t.substr(b, e - b);
+      if (typed_before && !is_keyword_name(name) &&
+          std::isdigit(static_cast<unsigned char>(name[0])) == 0)
+        out->insert(name);
+    }
+    return;
+  }
+
+  // Namespace-scope constant: `inline constexpr int kFoo = ...`.
+  if (eq_top != std::string::npos && eq_top > 0) {
+    const std::string name = trailing_ident(t.substr(0, eq_top));
+    if (!name.empty() && !is_keyword_name(name) &&
+        std::isdigit(static_cast<unsigned char>(name[0])) == 0 &&
+        t.find(' ') < eq_top)  // needs a type before the name
+      out->insert(name);
+  }
+}
+
+std::vector<std::string> declared_symbols(
+    const std::vector<std::string>& raw,
+    const std::vector<std::string>& code) {
+  std::set<std::string> out;
+  // Macros come from raw lines (the stripper keeps directives intact).
+  for (const std::string& line : raw) {
+    const std::string t = trim(line);
+    if (t.rfind("#define", 0) != 0) continue;
+    std::string name;
+    std::size_t i = 7;
+    while (i < t.size() &&
+           std::isspace(static_cast<unsigned char>(t[i])) != 0)
+      ++i;
+    while (i < t.size() && is_ident(t[i])) name.push_back(t[i++]);
+    if (!name.empty()) out.insert(name);
+  }
+  // Statement walk with namespace-aware brace tracking.
+  std::string stack;  // 'n' = namespace brace, 'b' = anything else
+  std::string stmt;
+  int angle = 0;  // template-argument depth; ';' inside <> never happens
+  int paren = 0;
+  for (const std::string& line : code) {
+    for (char c : line) {
+      if (c == '<') ++angle;
+      if (c == '>' && angle > 0) --angle;
+      if (c == '(') ++paren;
+      if (c == ')' && paren > 0) --paren;
+      if (c == '{' && paren == 0) {
+        bool ns = false;
+        std::size_t np = stmt.find("namespace");
+        while (np != std::string::npos) {
+          const std::size_t ne = np + 9;
+          if ((np == 0 || !is_ident(stmt[np - 1])) &&
+              (ne >= stmt.size() || !is_ident(stmt[ne]))) {
+            ns = true;
+            break;
+          }
+          np = stmt.find("namespace", np + 1);
+        }
+        if (stack.find('b') == std::string::npos)
+          collect_decls_from_stmt(stmt, &out);
+        stack.push_back(ns ? 'n' : 'b');
+        stmt.clear();
+      } else if (c == '}' && paren == 0) {
+        if (!stack.empty()) stack.pop_back();
+        stmt.clear();
+      } else if (c == ';' && paren == 0) {
+        if (stack.find('b') == std::string::npos)
+          collect_decls_from_stmt(stmt, &out);
+        stmt.clear();
+      } else {
+        stmt.push_back(c);
+      }
+    }
+    stmt.push_back(' ');
+  }
+  return {out.begin(), out.end()};
+}
+
+// All identifiers used in the stripped code, excluding #include lines
+// (whose ntco/ paths would otherwise count every module name as "used").
+std::vector<std::string> used_idents(const std::vector<std::string>& raw,
+                                     const std::vector<std::string>& code) {
+  std::set<std::string> out;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    if (trim(raw[li]).rfind("#include", 0) == 0) continue;
+    const std::string& s = code[li];
+    std::size_t i = 0;
+    while (i < s.size()) {
+      if (!is_ident(s[i])) {
+        ++i;
+        continue;
+      }
+      std::size_t b = i;
+      while (i < s.size() && is_ident(s[i])) ++i;
+      if (std::isdigit(static_cast<unsigned char>(s[b])) == 0)
+        out.insert(s.substr(b, i - b));
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+// Unique (ns, sym) pairs from `ns::sym` uses in the stripped code.
+std::vector<QualUse> qualified_uses(const std::vector<std::string>& code) {
+  std::map<std::pair<std::string, std::string>, int> firsts;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    const std::string& s = code[li];
+    std::size_t pos = 0;
+    while ((pos = s.find("::", pos)) != std::string::npos) {
+      std::size_t lb = pos;
+      while (lb > 0 && is_ident(s[lb - 1])) --lb;
+      std::size_t re = pos + 2;
+      std::size_t rb = re;
+      while (re < s.size() && is_ident(s[re])) ++re;
+      const std::string ns = s.substr(lb, pos - lb);
+      const std::string sym = s.substr(rb, re - rb);
+      pos += 2;
+      if (ns.empty() || sym.empty()) continue;
+      if (std::isdigit(static_cast<unsigned char>(ns[0])) != 0) continue;
+      firsts.emplace(std::make_pair(ns, sym), static_cast<int>(li + 1));
+    }
+  }
+  std::vector<QualUse> out;
+  out.reserve(firsts.size());
+  for (const auto& [key, line] : firsts)
+    out.push_back({key.first, key.second, line});
+  return out;
+}
+
+// Telemetry call sites: api token followed by '(', first string literal in
+// the next couple of raw lines (the stripper preserves columns, so the raw
+// text at the same offset is the literal).
+const char* kObsApis[] = {"emit",  "trace_event", "counter",
+                          "gauge", "summary",     "histogram"};
+
+std::vector<ObsUse> obs_call_sites(const std::vector<std::string>& raw,
+                                   const std::vector<std::string>& code) {
+  std::vector<ObsUse> out;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    const std::string& s = code[li];
+    for (const char* api : kObsApis) {
+      std::size_t pos = 0, at = 0;
+      while (match_member_call(s, api, pos, &at)) {
+        pos = at + std::strlen(api);
+        // Find the opening paren (match_member_call guarantees one).
+        std::size_t open = s.find('(', at);
+        // First '"' in the raw text from the paren, looking ahead at most
+        // two more lines; stop when the call's closing paren is reached in
+        // the stripped code (depth persists across lines).
+        std::string name;
+        bool found = false;
+        bool closed = false;
+        int depth = 1;
+        std::size_t col = open + 1;
+        for (std::size_t lj = li;
+             lj < code.size() && lj < li + 3 && !found && !closed; ++lj) {
+          const std::string& rawl = raw[lj];
+          const std::string& codel = code[lj];
+          for (std::size_t k = col; k < rawl.size(); ++k) {
+            if (k < codel.size()) {
+              if (codel[k] == '(') ++depth;
+              if (codel[k] == ')' && --depth == 0) {
+                closed = true;  // call ended with no literal
+                break;
+              }
+            }
+            if (rawl[k] == '"') {
+              const std::size_t close = rawl.find('"', k + 1);
+              if (close != std::string::npos) {
+                name = rawl.substr(k + 1, close - k - 1);
+                found = true;
+              }
+              break;
+            }
+          }
+          col = 0;
+        }
+        if (found && !name.empty())
+          out.push_back({static_cast<int>(li + 1), api, name});
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// R9: capture-list audit of kernel handler lambdas.
+
+void audit_handlers(const std::vector<std::string>& code,
+                    const std::map<std::string, TypeInfo>& vars,
+                    std::vector<Finding>* findings) {
+  constexpr int kSbo = 48;  // ntco::InlineFunction<void(), 48>
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    const std::string& s = code[li];
+    for (const char* entry : {"schedule_at", "schedule_after"}) {
+      std::size_t pos = 0, at = 0;
+      while (match_member_call(s, entry, pos, &at)) {
+        pos = at + std::strlen(entry);
+        const std::size_t open = s.find('(', at);
+        // Walk the call's argument text (joined across up to 12 lines)
+        // looking for a lambda introducer: '[' at call depth whose previous
+        // non-space char is '(' or ',' (rules out indexing and [[attrs]]).
+        std::string w;
+        std::vector<int> wline;
+        for (std::size_t lj = li; lj < code.size() && lj < li + 12; ++lj) {
+          for (char c : code[lj]) {
+            w.push_back(c);
+            wline.push_back(static_cast<int>(lj + 1));
+          }
+          w.push_back('\n');
+          wline.push_back(static_cast<int>(lj + 1));
+        }
+        int depth = 0;
+        std::size_t cap_b = std::string::npos;
+        char prev_sig = '\0';
+        for (std::size_t k = open; k < w.size(); ++k) {
+          const char c = w[k];
+          if (c == '(') ++depth;
+          if (c == ')' && --depth == 0) break;
+          if (c == '[' && depth >= 1 && k + 1 < w.size() && w[k + 1] != '[' &&
+              (prev_sig == '(' || prev_sig == ',')) {
+            cap_b = k + 1;
+            break;
+          }
+          if (std::isspace(static_cast<unsigned char>(c)) == 0) prev_sig = c;
+        }
+        if (cap_b == std::string::npos) continue;  // no lambda argument
+        // Capture list: up to the matching ']' at zero <>/(){} depth.
+        int d2 = 0;
+        std::size_t cap_e = std::string::npos;
+        for (std::size_t k = cap_b; k < w.size(); ++k) {
+          const char c = w[k];
+          if (c == '<' || c == '(' || c == '{') ++d2;
+          if (c == '>' || c == ')' || c == '}') --d2;
+          if (c == ']' && d2 <= 0) {
+            cap_e = k;
+            break;
+          }
+        }
+        if (cap_e == std::string::npos) continue;
+        const std::string caps = w.substr(cap_b, cap_e - cap_b);
+        // Split on top-level commas.
+        std::vector<std::string> items;
+        {
+          int d3 = 0;
+          std::string cur;
+          for (char c : caps) {
+            if (c == '<' || c == '(' || c == '{') ++d3;
+            if (c == '>' || c == ')' || c == '}') --d3;
+            if (c == ',' && d3 == 0) {
+              items.push_back(cur);
+              cur.clear();
+            } else {
+              cur.push_back(c);
+            }
+          }
+          items.push_back(cur);
+        }
+        int total = 0;
+        bool bail = false;
+        std::vector<std::string> copies;
+        for (const std::string& raw_item : items) {
+          const std::string it = trim(raw_item);
+          if (it.empty()) continue;
+          if (it == "=" || it == "&") {
+            bail = true;  // default captures: membership unknowable here
+            break;
+          }
+          if (it == "this" || it == "*this" || it[0] == '&') {
+            total += 8;
+            continue;
+          }
+          // Init capture `x = expr`: the handler owns whatever expr yields
+          // (usually moved in), sized by the source variable if known.
+          std::size_t eq = std::string::npos;
+          {
+            int d3 = 0;
+            for (std::size_t k = 0; k < it.size(); ++k) {
+              const char c = it[k];
+              if (c == '<' || c == '(' || c == '{') ++d3;
+              if (c == '>' || c == ')' || c == '}') --d3;
+              if (c == '=' && d3 == 0) {
+                eq = k;
+                break;
+              }
+            }
+          }
+          if (eq != std::string::npos) {
+            const std::string src = trailing_ident(it.substr(eq + 1));
+            auto v = vars.find(src);
+            total += v != vars.end() ? v->second.size : 8;
+            continue;
+          }
+          // Plain copy capture.
+          auto v = vars.find(it);
+          if (v != vars.end()) {
+            total += v->second.size;
+            if (v->second.alloc_on_copy) copies.push_back(it);
+          } else {
+            total += 8;
+          }
+        }
+        if (bail) continue;
+        const int line = static_cast<int>(li + 1);
+        for (const std::string& c : copies) {
+          findings->push_back(
+              {line, Rule::R9,
+               "kernel handler copy-captures allocating '" + c +
+                   "' — move it into the capture or take a reference",
+               "copy:" + c});
+        }
+        if (total > kSbo) {
+          findings->push_back(
+              {line, Rule::R9,
+               "kernel handler captures ~" + std::to_string(total) +
+                   " bytes, over the " + std::to_string(kSbo) +
+                   "-byte InlineFunction SBO — the handler will heap-"
+                   "allocate; shrink captures or allow(R9) if deliberate",
+               "sbo:" + std::string(entry)});
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: index one file.
+
+FileIndex index_file(const Config& cfg, const std::string& rel_path,
+                     const std::string& contents) {
+  FileIndex ix;
+  ix.rel_path = rel_path;
+  ix.module = module_of(rel_path);
+  ix.hash = fnv1a(contents);
+
   const std::vector<std::string> raw = split_lines(contents);
   const std::vector<std::string> code = strip_code(raw);
   const std::set<std::string> uvars = unordered_vars(code);
-  const std::string mod = module_of(rel_path);
 
-  std::vector<Directive> dirs = find_directives(raw, rel_path, out);
-  std::vector<Finding> findings;
+  std::vector<Finding>& findings = ix.local;
+  parse_directives(raw, &ix.dirs, &ix.marks, &findings);
+
+  // Hot-path regions: whole-file listing, or begin/end marker spans.
+  const bool file_hot = starts_with_any(rel_path, cfg.hotpath_files);
+  std::vector<std::pair<int, int>> hot_regions;
+  {
+    int open_at = 0;
+    for (const HotMark& m : ix.marks) {
+      if (m.begin) {
+        if (open_at == 0) open_at = m.line;
+      } else if (open_at != 0) {
+        hot_regions.emplace_back(open_at, m.line);
+        open_at = 0;
+      } else {
+        findings.push_back({m.line, Rule::Sup,
+                            "hotpath end marker without a matching begin",
+                            "hotpath-unmatched"});
+      }
+    }
+    if (open_at != 0)  // unclosed region runs to EOF
+      hot_regions.emplace_back(open_at, static_cast<int>(raw.size()));
+  }
+  const auto in_hot = [&](int line) {
+    if (file_hot) return true;
+    for (const auto& [b, e] : hot_regions)
+      if (line >= b && line <= e) return true;
+    return false;
+  };
 
   const bool r1_allowed = starts_with_any(rel_path, cfg.r1_allow);
   const bool r3_allowed = starts_with_any(rel_path, cfg.r3_allow);
@@ -487,6 +1155,55 @@ void analyze_impl(const Config& cfg,
                                   "owns all concurrency",
                               t.text});
           break;
+        }
+      }
+    }
+
+    // R6: allocation inside a hot-path region.
+    if (in_hot(line)) {
+      bool hit = false;
+      for (const Token& t : kR6Alloc) {
+        if (match_token(s, t, &at)) {
+          findings.push_back(
+              {line, Rule::R6,
+               std::string("allocation on the hot path: '") + t.text +
+                   "' — pre-size, pool, or reuse scratch storage; "
+                   "allow(R6) with a reason if the allocation is amortized",
+               t.text});
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) {
+        for (const char* op : kR6Growth) {
+          const std::string pat(op);
+          std::size_t pos = 0;
+          bool flagged = false;
+          while ((pos = s.find(pat, pos)) != std::string::npos) {
+            const std::size_t end = pos + pat.size();
+            const bool member =
+                pos > 0 && (s[pos - 1] == '.' || s[pos - 1] == '>');
+            bool ok = member && !(end < s.size() && is_ident(s[end]));
+            if (ok) {
+              std::size_t j = end;
+              while (j < s.size() &&
+                     std::isspace(static_cast<unsigned char>(s[j])) != 0)
+                ++j;
+              ok = j < s.size() && s[j] == '(';
+            }
+            pos = end;
+            if (ok) {
+              findings.push_back(
+                  {line, Rule::R6,
+                   std::string("growth-prone container op '") + op +
+                       "' on the hot path — allocation must be hoisted off "
+                       "the serving path or allow(R6)-justified",
+                   std::string("grow:") + op});
+              flagged = true;
+              break;
+            }
+          }
+          if (flagged) break;
         }
       }
     }
@@ -580,45 +1297,422 @@ void analyze_impl(const Config& cfg,
       }
     }
 
+    // Include edges (cross-file rules R4/R8 consume these in phase 2).
+    const std::string inc = ntco_include_path(raw[li]);
+    if (!inc.empty()) ix.includes.push_back({line, inc});
+  }
+
+  // R9 runs over the whole file (needs the declared-variable type map).
+  audit_handlers(code, r9_var_types(code), &findings);
+
+  // Cross-file raw material. Declared symbols are collected for every
+  // file: headers feed the R8 stale/missing maps, and a .cpp's own
+  // namespace-scope forward declarations satisfy R8 (IWYU accepts a
+  // forward declaration for pointer/reference uses).
+  ix.declared = declared_symbols(raw, code);
+  ix.used = used_idents(raw, code);
+  ix.qualified = qualified_uses(code);
+  ix.obs_uses = obs_call_sites(raw, code);
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return ix;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: cross-file rules + suppression application.
+
+const char* obs_kind_of_api(const std::string& api) {
+  if (api == "emit" || api == "trace_event") return "trace";
+  return api.c_str();  // counter/gauge/summary/histogram name their kind
+}
+
+void phase2(const Config& cfg,
+            const std::map<std::string, std::set<std::string>>& closure,
+            std::vector<FileIndex>& files, Report& out) {
+  // --- R7 setup: the central telemetry-name registry.
+  const std::string registry_rel = cfg.names_registry;
+  const fs::path registry_path = fs::path(cfg.root) / registry_rel;
+  const std::vector<ObsNameEntry> entries =
+      load_names_registry(registry_path.string());
+  std::map<std::string, const ObsNameEntry*> by_name;
+  std::map<std::string, std::vector<Finding>> cross;  // rel_path -> findings
+  bool registry_scanned = false;
+  for (const FileIndex& ix : files)
+    if (ix.rel_path == registry_rel) registry_scanned = true;
+  for (const ObsNameEntry& e : entries) {
+    if (!by_name.emplace(e.name, &e).second && registry_scanned) {
+      cross[registry_rel].push_back(
+          {e.line, Rule::R7,
+           "registry declares telemetry name '" + e.name + "' more than once",
+           "dup:" + e.name});
+    }
+  }
+  std::set<std::string> names_used;
+
+  // --- R8 setup: which header (by include key) declares which symbols.
+  std::map<std::string, const FileIndex*> headers;  // "ntco/mod/x.hpp" -> ix
+  for (const FileIndex& ix : files) {
+    const std::size_t inc = ix.rel_path.find("include/");
+    if (inc == std::string::npos || ix.declared.empty()) continue;
+    headers.emplace(ix.rel_path.substr(inc + 8), &ix);
+  }
+  // symbol -> declaring header keys (restricted per-module at lookup time).
+  std::map<std::string, std::vector<std::string>> declarer_keys;
+  for (const auto& [key, ix] : headers)
+    for (const std::string& sym : ix->declared) declarer_keys[sym].push_back(key);
+
+  // --- Per-file cross-file findings.
+  for (FileIndex& ix : files) {
+    std::vector<Finding>& fs_out = cross[ix.rel_path];
+
     // R4: every ntco include must follow the declared module DAG.
-    const std::string target = ntco_include(raw[li]);
-    if (!target.empty() && mod != "top" && target != mod) {
-      const auto mod_it = closure.find(mod);
-      const bool known_mod = cfg.dag.find(mod) != cfg.dag.end();
+    for (const IncludeEdge& e : ix.includes) {
+      const std::size_t slash = e.path.find('/', 5);
+      const std::string target =
+          slash == std::string::npos ? "" : e.path.substr(5, slash - 5);
+      if (target.empty() || ix.module == "top" || target == ix.module)
+        continue;
+      const auto mod_it = closure.find(ix.module);
+      const bool known_mod = cfg.dag.find(ix.module) != cfg.dag.end();
       const bool known_target = cfg.dag.find(target) != cfg.dag.end();
       if (!known_mod || !known_target) {
-        findings.push_back({line, Rule::R4,
-                            "include edge " + mod + " -> " + target +
-                                " involves a module absent from the declared "
-                                "DAG — declare it in the layering config",
-                            "unknown:" + mod + "->" + target});
+        fs_out.push_back({e.line, Rule::R4,
+                          "include edge " + ix.module + " -> " + target +
+                              " involves a module absent from the declared "
+                              "DAG — declare it in the layering config",
+                          "unknown:" + ix.module + "->" + target});
       } else if (mod_it == closure.end() ||
                  mod_it->second.count(target) == 0) {
-        findings.push_back({line, Rule::R4,
-                            "layering violation: " + mod + " -> " + target +
-                                " is a back-edge of the declared module DAG",
-                            "edge:" + mod + "->" + target});
+        fs_out.push_back({e.line, Rule::R4,
+                          "layering violation: " + ix.module + " -> " + target +
+                              " is a back-edge of the declared module DAG",
+                          "edge:" + ix.module + "->" + target});
+      }
+    }
+
+    // R7 call sites: every literal telemetry name must be registered with
+    // the matching kind. Disabled when no registry exists (fixture trees).
+    if (!entries.empty() && starts_with_any(ix.rel_path, cfg.r7_scope)) {
+      for (const ObsUse& u : ix.obs_uses) {
+        const std::string kind = obs_kind_of_api(u.api);
+        auto it = by_name.find(u.name);
+        if (it == by_name.end()) {
+          fs_out.push_back({u.line, Rule::R7,
+                            "telemetry name '" + u.name + "' (" + kind +
+                                ") is not in the obs name registry — add an "
+                                "NTCO_OBS_NAME row to " + registry_rel,
+                            "name:" + u.name});
+        } else {
+          names_used.insert(u.name);
+          if (it->second->kind != kind) {
+            fs_out.push_back({u.line, Rule::R7,
+                              "telemetry name '" + u.name +
+                                  "' is registered as a " + it->second->kind +
+                                  " but used here as a " + kind,
+                              "kind:" + u.name});
+          }
+        }
+      }
+    }
+
+    // R8: include hygiene over the declared/used index.
+    if (starts_with_any(ix.rel_path, cfg.r8_scope)) {
+      const std::set<std::string> used(ix.used.begin(), ix.used.end());
+      std::set<std::string> direct;  // directly included header keys
+      for (const IncludeEdge& e : ix.includes) direct.insert(e.path);
+
+      // IWYU's associated-header exemption: foo.cpp's own foo.hpp
+      // re-exports its direct includes, so the .cpp need not repeat them.
+      if (ix.rel_path.size() > 4 &&
+          ix.rel_path.compare(ix.rel_path.size() - 4, 4, ".cpp") == 0) {
+        const std::size_t slash = ix.rel_path.rfind('/');
+        const std::string stem = ix.rel_path.substr(
+            slash + 1, ix.rel_path.size() - slash - 1 - 4);
+        const std::string assoc = "ntco/" + ix.module + "/" + stem + ".hpp";
+        if (direct.count(assoc) != 0) {
+          auto ah = headers.find(assoc);
+          if (ah != headers.end())
+            for (const IncludeEdge& e : ah->second->includes)
+              direct.insert(e.path);
+        }
+      }
+
+      for (const IncludeEdge& e : ix.includes) {
+        auto hit = headers.find(e.path);
+        if (hit == headers.end() || hit->second == &ix) continue;
+        bool any_used = false;
+        for (const std::string& sym : hit->second->declared) {
+          if (used.count(sym) != 0) {
+            any_used = true;
+            break;
+          }
+        }
+        if (!any_used) {
+          fs_out.push_back({e.line, Rule::R8,
+                            "stale include " + e.path +
+                                " — none of its declared symbols are used "
+                                "in this file",
+                            "stale:" + e.path});
+        }
+      }
+
+      const std::string self_key = [&] {
+        const std::size_t inc = ix.rel_path.find("include/");
+        return inc == std::string::npos ? std::string()
+                                        : ix.rel_path.substr(inc + 8);
+      }();
+      const std::set<std::string> self_declared(ix.declared.begin(),
+                                                ix.declared.end());
+      for (const QualUse& q : ix.qualified) {
+        const std::string mod = q.ns == "ntco" ? "common" : q.ns;
+        if (cfg.dag.find(mod) == cfg.dag.end()) continue;
+        if (self_declared.count(q.sym) != 0) continue;
+        auto dk = declarer_keys.find(q.sym);
+        if (dk == declarer_keys.end()) continue;
+        std::vector<std::string> in_mod;
+        for (const std::string& key : dk->second) {
+          const std::size_t slash = key.find('/', 5);
+          if (slash != std::string::npos &&
+              key.substr(5, slash - 5) == mod)
+            in_mod.push_back(key);
+        }
+        if (in_mod.size() != 1) continue;  // ambiguous or foreign: skip
+        const std::string& key = in_mod.front();
+        if (key == self_key || direct.count(key) != 0) continue;
+        // Re-exported by a directly included header? Then it is fine.
+        bool reexported = false;
+        for (const std::string& d : direct) {
+          auto h = headers.find(d);
+          if (h != headers.end() &&
+              std::find(h->second->declared.begin(),
+                        h->second->declared.end(),
+                        q.sym) != h->second->declared.end()) {
+            reexported = true;
+            break;
+          }
+        }
+        if (reexported) continue;
+        fs_out.push_back({q.line, Rule::R8,
+                          "uses " + q.ns + "::" + q.sym +
+                              " without directly including its declaring "
+                              "header " + key,
+                          "missing:" + key});
       }
     }
   }
 
-  // Apply suppressions: a directive covers its own line and the next one.
-  for (const Finding& f : findings) {
-    const Directive* hit = nullptr;
-    for (const Directive& d : dirs) {
-      if ((f.line == d.line || f.line == d.line + 1) &&
-          d.rules.count(f.rule) != 0) {
-        hit = &d;
-        break;
-      }
+  // R7 dead names: only meaningful when the whole tree (including the
+  // registry itself) was scanned — single-file analysis sees too little.
+  if (registry_scanned) {
+    for (const ObsNameEntry& e : entries) {
+      if (names_used.count(e.name) != 0) continue;
+      cross[registry_rel].push_back(
+          {e.line, Rule::R7,
+           "registry telemetry name '" + e.name + "' (" + e.kind +
+               ") is emitted nowhere in the scanned tree — delete the dead "
+               "row or wire up the emitter",
+           "dead:" + e.name});
     }
-    if (hit != nullptr) continue;
-    out.diagnostics.push_back({rel_path, f.line, f.rule, f.message,
-                               rel_path + "|" + rule_name(f.rule) + "|" +
-                                   f.detail});
   }
-  for (const Directive& d : dirs)
-    out.suppressions.push_back({rel_path, d.line, d.rules_text, d.reason});
+
+  // --- Assemble per-file, apply suppressions, track stale directives.
+  for (FileIndex& ix : files) {
+    std::vector<Finding> all = ix.local;
+    auto extra = cross.find(ix.rel_path);
+    if (extra != cross.end())
+      all.insert(all.end(), extra->second.begin(), extra->second.end());
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Finding& a, const Finding& b) {
+                       return a.line < b.line;
+                     });
+    std::vector<char> dir_used(ix.dirs.size(), 0);
+    for (const Finding& f : all) {
+      if (f.rule != Rule::Sup) {
+        bool hit = false;
+        // Every covering directive is credited (no early break): directives
+        // on consecutive lines each cover the next line, and crediting only
+        // the first would mark the later one stale.
+        for (std::size_t di = 0; di < ix.dirs.size(); ++di) {
+          const Directive& d = ix.dirs[di];
+          if ((f.line == d.line || f.line == d.line + 1) &&
+              d.rules.count(f.rule) != 0) {
+            dir_used[di] = 1;
+            hit = true;
+          }
+        }
+        if (hit) continue;
+      }
+      out.diagnostics.push_back({ix.rel_path, f.line, f.rule, f.message,
+                                 ix.rel_path + "|" + rule_name(f.rule) + "|" +
+                                     f.detail});
+    }
+    for (std::size_t di = 0; di < ix.dirs.size(); ++di) {
+      const Directive& d = ix.dirs[di];
+      out.suppressions.push_back({ix.rel_path, d.line, d.rules_text, d.reason});
+      if (dir_used[di] == 0)
+        out.stale_suppressions.push_back(
+            {ix.rel_path, d.line, d.rules_text, d.reason});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase-1 cache: one text file holding every FileIndex, keyed by content
+// hash and a config hash. Sound because phase 2 (cheap) always reruns over
+// the loaded indexes.
+
+std::uint64_t config_hash(const Config& cfg) {
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](const std::string& s) { h = fnv1a(s + "\x1f", h); };
+  mix("v2");
+  for (const auto& s : cfg.roots) mix(s);
+  for (const auto& s : cfg.exclude) mix(s);
+  for (const auto& s : cfg.r1_allow) mix(s);
+  for (const auto& s : cfg.r3_allow) mix(s);
+  for (const auto& [m, deps] : cfg.dag) {
+    mix(m);
+    for (const auto& d : deps) mix(d);
+  }
+  for (const auto& s : cfg.hotpath_files) mix(s);
+  mix(cfg.names_registry);
+  for (const auto& s : cfg.r7_scope) mix(s);
+  for (const auto& s : cfg.r8_scope) mix(s);
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void save_cache(const std::string& path, std::uint64_t cfg_hash,
+                const std::vector<FileIndex>& files) {
+  std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+  if (!outf) return;  // cache is best-effort
+  outf << "ntco-lint-cache v2 " << hex64(cfg_hash) << "\n";
+  for (const FileIndex& ix : files) {
+    outf << "F " << hex64(ix.hash) << ' ' << ix.module << ' ' << ix.rel_path
+         << "\n";
+    for (const Finding& f : ix.local)
+      outf << "L " << f.line << ' ' << static_cast<int>(f.rule) << '\t'
+           << f.detail << '\t' << f.message << "\n";
+    for (const Directive& d : ix.dirs)
+      outf << "D " << d.line << '\t' << d.rules_text << '\t' << d.reason
+           << "\n";
+    for (const HotMark& m : ix.marks)
+      outf << "H " << m.line << ' ' << (m.begin ? 1 : 0) << "\n";
+    for (const IncludeEdge& e : ix.includes)
+      outf << "I " << e.line << ' ' << e.path << "\n";
+    for (const std::string& s : ix.declared) outf << "S " << s << "\n";
+    for (const std::string& s : ix.used) outf << "U " << s << "\n";
+    for (const QualUse& q : ix.qualified)
+      outf << "Q " << q.line << ' ' << q.ns << ' ' << q.sym << "\n";
+    for (const ObsUse& u : ix.obs_uses)
+      outf << "O " << u.line << ' ' << u.api << '\t' << u.name << "\n";
+    outf << "E\n";
+  }
+}
+
+std::map<std::string, FileIndex> load_cache(const std::string& path,
+                                            std::uint64_t cfg_hash) {
+  std::map<std::string, FileIndex> out;
+  std::ifstream inf(path, std::ios::binary);
+  if (!inf) return out;
+  std::string line;
+  if (!std::getline(inf, line) ||
+      line != "ntco-lint-cache v2 " + hex64(cfg_hash))
+    return out;  // different config or format: full re-index
+  FileIndex cur;
+  bool open = false;
+  const auto split_tabs = [](const std::string& s) {
+    std::vector<std::string> parts;
+    std::size_t b = 0;
+    for (;;) {
+      const std::size_t t = s.find('\t', b);
+      parts.push_back(s.substr(b, t == std::string::npos ? t : t - b));
+      if (t == std::string::npos) break;
+      b = t + 1;
+    }
+    return parts;
+  };
+  while (std::getline(inf, line)) {
+    if (line.empty()) continue;
+    const char tag = line[0];
+    const std::string rest = line.size() > 2 ? line.substr(2) : "";
+    if (tag == 'F') {
+      std::istringstream ss(rest);
+      std::string hash_s, module, rel;
+      ss >> hash_s >> module;
+      std::getline(ss, rel);
+      cur = FileIndex{};
+      cur.hash = std::stoull(hash_s, nullptr, 16);
+      cur.module = module;
+      cur.rel_path = trim(rel);
+      open = true;
+    } else if (!open) {
+      continue;
+    } else if (tag == 'E') {
+      out.emplace(cur.rel_path, std::move(cur));
+      cur = FileIndex{};
+      open = false;
+    } else if (tag == 'L') {
+      const auto parts = split_tabs(rest);
+      if (parts.size() != 3) continue;
+      std::istringstream ss(parts[0]);
+      int ln = 0, rl = 0;
+      ss >> ln >> rl;
+      if (rl < 0 || rl > static_cast<int>(Rule::Sup)) continue;
+      cur.local.push_back({ln, static_cast<Rule>(rl), parts[2], parts[1]});
+    } else if (tag == 'D') {
+      const auto parts = split_tabs(rest);
+      if (parts.size() != 3) continue;
+      Directive d;
+      d.line = std::atoi(parts[0].c_str());
+      d.rules_text = parts[1];
+      d.reason = parts[2];
+      std::stringstream ss(d.rules_text);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        bool ok = false;
+        const Rule r = parse_rule(trim(item), &ok);
+        if (ok) d.rules.insert(r);
+      }
+      cur.dirs.push_back(std::move(d));
+    } else if (tag == 'H') {
+      std::istringstream ss(rest);
+      int ln = 0, b = 0;
+      ss >> ln >> b;
+      cur.marks.push_back({ln, b != 0});
+    } else if (tag == 'I') {
+      std::istringstream ss(rest);
+      IncludeEdge e;
+      ss >> e.line >> e.path;
+      cur.includes.push_back(std::move(e));
+    } else if (tag == 'S') {
+      cur.declared.push_back(rest);
+    } else if (tag == 'U') {
+      cur.used.push_back(rest);
+    } else if (tag == 'Q') {
+      std::istringstream ss(rest);
+      QualUse q;
+      ss >> q.line >> q.ns >> q.sym;
+      cur.qualified.push_back(std::move(q));
+    } else if (tag == 'O') {
+      const auto parts = split_tabs(rest);
+      if (parts.size() != 2) continue;
+      std::istringstream ss(parts[0]);
+      ObsUse u;
+      ss >> u.line >> u.api;
+      u.name = parts[1];
+      cur.obs_uses.push_back(std::move(u));
+    }
+  }
+  return out;
 }
 
 std::string json_escape(const std::string& s) {
@@ -652,6 +1746,10 @@ const char* rule_name(Rule r) {
     case Rule::R3: return "R3";
     case Rule::R4: return "R4";
     case Rule::R5: return "R5";
+    case Rule::R6: return "R6";
+    case Rule::R7: return "R7";
+    case Rule::R8: return "R8";
+    case Rule::R9: return "R9";
     case Rule::Sup: break;
   }
   return "sup";
@@ -687,17 +1785,28 @@ Config default_config(std::string root) {
         "common"}},
       {"cicd", {"core", "profile"}},
   };
+  // Hot-path file list: one relative path prefix per line.
+  std::ifstream hp(fs::path(cfg.root) / "tools" / "lint_hotpath.txt");
+  if (hp) {
+    std::string line;
+    while (std::getline(hp, line)) {
+      const std::string t = trim(line);
+      if (!t.empty() && t[0] != '#') cfg.hotpath_files.push_back(t);
+    }
+  }
   return cfg;
 }
 
 void analyze_source(const Config& cfg, const std::string& rel_path,
                     const std::string& contents, Report& out) {
   const auto closure = dag_closure(cfg.dag);
-  analyze_impl(cfg, closure, rel_path, contents, out);
+  std::vector<FileIndex> one;
+  one.push_back(index_file(cfg, rel_path, contents));
+  phase2(cfg, closure, one, out);
   ++out.files_scanned;
 }
 
-Report run(const Config& cfg) {
+Report run(const Config& cfg, const std::string& cache_path) {
   const auto closure = dag_closure(cfg.dag);
   Report rep;
 
@@ -717,6 +1826,12 @@ Report run(const Config& cfg) {
   }
   std::sort(files.begin(), files.end());  // deterministic diagnostic order
 
+  const std::uint64_t cfg_hash = config_hash(cfg);
+  std::map<std::string, FileIndex> cached;
+  if (!cache_path.empty()) cached = load_cache(cache_path, cfg_hash);
+
+  std::vector<FileIndex> index;
+  index.reserve(files.size());
   for (const fs::path& p : files) {
     std::string rel = fs::relative(p, cfg.root).generic_string();
     if (starts_with_any(rel, cfg.exclude)) continue;
@@ -724,9 +1839,21 @@ Report run(const Config& cfg) {
     if (!in) continue;
     std::ostringstream ss;
     ss << in.rdbuf();
-    analyze_impl(cfg, closure, rel, ss.str(), rep);
+    const std::string contents = ss.str();
+    const std::uint64_t h = fnv1a(contents);
+    auto hit = cached.find(rel);
+    if (hit != cached.end() && hit->second.hash == h) {
+      index.push_back(std::move(hit->second));
+      ++rep.cache_hits;
+    } else {
+      index.push_back(index_file(cfg, rel, contents));
+      ++rep.cache_misses;
+    }
     ++rep.files_scanned;
   }
+
+  phase2(cfg, closure, index, rep);
+  if (!cache_path.empty()) save_cache(cache_path, cfg_hash, index);
   return rep;
 }
 
@@ -785,7 +1912,6 @@ std::size_t Baseline::size() const {
 }
 
 std::string to_json(const Report& report, const std::vector<Diagnostic>& fresh) {
-  std::set<const Diagnostic*> fresh_set;
   // Identify freshness positionally by fingerprint multiset membership.
   std::map<std::string, int> fresh_counts;
   for (const Diagnostic& d : fresh) ++fresh_counts[d.fingerprint];
@@ -798,6 +1924,10 @@ std::string to_json(const Report& report, const std::vector<Diagnostic>& fresh) 
   o << "  \"diagnostics_baselined\": "
     << report.diagnostics.size() - fresh.size() << ",\n";
   o << "  \"suppressions\": " << report.suppressions.size() << ",\n";
+  o << "  \"stale_suppressions\": " << report.stale_suppressions.size()
+    << ",\n";
+  o << "  \"cache_hits\": " << report.cache_hits << ",\n";
+  o << "  \"cache_misses\": " << report.cache_misses << ",\n";
   o << "  \"diagnostics\": [";
   for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
     const Diagnostic& d = report.diagnostics[i];
@@ -823,8 +1953,197 @@ std::string to_json(const Report& report, const std::vector<Diagnostic>& fresh) 
       << s.line << ", \"rules\": \"" << json_escape(s.rules)
       << "\", \"reason\": \"" << json_escape(s.reason) << "\"}";
   }
-  o << (report.suppressions.empty() ? "]\n" : "\n  ]\n");
+  o << (report.suppressions.empty() ? "],\n" : "\n  ],\n");
+  o << "  \"stale_suppression_list\": [";
+  for (std::size_t i = 0; i < report.stale_suppressions.size(); ++i) {
+    const Suppression& s = report.stale_suppressions[i];
+    o << (i == 0 ? "\n" : ",\n");
+    o << "    {\"file\": \"" << json_escape(s.file) << "\", \"line\": "
+      << s.line << ", \"rules\": \"" << json_escape(s.rules) << "\"}";
+  }
+  o << (report.stale_suppressions.empty() ? "]\n" : "\n  ]\n");
   o << "}\n";
+  return o.str();
+}
+
+std::string to_sarif(const Report& report,
+                     const std::vector<Diagnostic>& fresh) {
+  std::map<std::string, int> fresh_counts;
+  for (const Diagnostic& d : fresh) ++fresh_counts[d.fingerprint];
+
+  static const struct {
+    const char* id;
+    const char* desc;
+  } kRules[] = {
+      {"R1", "No nondeterminism sources outside the sanctioned allowlist"},
+      {"R2", "No iteration over unordered containers"},
+      {"R3", "No threading primitives outside src/fleet/"},
+      {"R4", "Include edges must follow the declared module DAG"},
+      {"R5", "No += accumulation of unordered-container lookups"},
+      {"R6", "No allocation inside hot-path regions"},
+      {"R7", "Telemetry names must be registered in obs/names.hpp"},
+      {"R8", "Include hygiene: no stale or missing direct ntco includes"},
+      {"R9", "Kernel handlers must fit the InlineFunction SBO"},
+      {"sup", "Malformed suppression or hot-path marker"},
+  };
+
+  std::ostringstream o;
+  o << "{\n"
+    << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+    << "  \"version\": \"2.1.0\",\n"
+    << "  \"runs\": [\n"
+    << "    {\n"
+    << "      \"tool\": {\n"
+    << "        \"driver\": {\n"
+    << "          \"name\": \"ntco-lint\",\n"
+    << "          \"informationUri\": "
+       "\"https://example.invalid/ntco/DESIGN.md\",\n"
+    << "          \"rules\": [";
+  for (std::size_t i = 0; i < sizeof kRules / sizeof kRules[0]; ++i) {
+    o << (i == 0 ? "\n" : ",\n");
+    o << "            {\"id\": \"" << kRules[i].id
+      << "\", \"shortDescription\": {\"text\": \"" << kRules[i].desc
+      << "\"}}";
+  }
+  o << "\n          ]\n"
+    << "        }\n"
+    << "      },\n"
+    << "      \"results\": [";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    bool is_new = false;
+    auto it = fresh_counts.find(d.fingerprint);
+    if (it != fresh_counts.end() && it->second > 0) {
+      --it->second;
+      is_new = true;
+    }
+    o << (i == 0 ? "\n" : ",\n");
+    o << "        {\"ruleId\": \"" << rule_name(d.rule) << "\", \"level\": \""
+      << (is_new ? "error" : "note")
+      << "\", \"message\": {\"text\": \"" << json_escape(d.message)
+      << "\"}, \"partialFingerprints\": {\"ntcoLint/v1\": \""
+      << json_escape(d.fingerprint)
+      << "\"}, \"locations\": [{\"physicalLocation\": "
+         "{\"artifactLocation\": {\"uri\": \""
+      << json_escape(d.file) << "\"}, \"region\": {\"startLine\": "
+      << (d.line > 0 ? d.line : 1) << "}}}]}";
+  }
+  o << (report.diagnostics.empty() ? "]\n" : "\n      ]\n");
+  o << "    }\n"
+    << "  ]\n"
+    << "}\n";
+  return o.str();
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry-name registry.
+
+std::vector<ObsNameEntry> load_names_registry(const std::string& path) {
+  std::vector<ObsNameEntry> out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::vector<std::string> raw = split_lines(ss.str());
+  const std::string row_kw = "NTCO_OBS_NAME";
+  for (std::size_t li = 0; li < raw.size(); ++li) {
+    const std::string& line = raw[li];
+    const std::string t = trim(line);
+    if (t.rfind("#define", 0) == 0) continue;  // the macro itself
+    if (t.rfind("//", 0) == 0) continue;       // doc-comment example rows
+    std::size_t pos = line.find(row_kw);
+    if (pos == std::string::npos) continue;
+    if (pos > 0 && is_ident(line[pos - 1])) continue;
+    std::size_t open = line.find('(', pos + row_kw.size());
+    if (open == std::string::npos) continue;
+    // Join lines until the row's parens balance (rows are usually one line).
+    std::string row = line.substr(open + 1);
+    std::size_t lj = li;
+    int depth = 1;
+    std::string args;
+    bool done = false;
+    while (!done) {
+      for (char c : row) {
+        if (c == '(') ++depth;
+        if (c == ')' && --depth == 0) {
+          done = true;
+          break;
+        }
+        args.push_back(c);
+      }
+      if (done) break;
+      if (++lj >= raw.size()) break;
+      row = raw[lj];
+      args.push_back(' ');
+    }
+    if (!done) continue;
+    // Split top-level commas into ident, kind, "name", "fields".
+    std::vector<std::string> parts;
+    {
+      int d = 0;
+      bool in_str = false;
+      std::string cur;
+      for (char c : args) {
+        if (c == '"') in_str = !in_str;
+        if (!in_str) {
+          if (c == '(' || c == '<' || c == '{') ++d;
+          if (c == ')' || c == '>' || c == '}') --d;
+          if (c == ',' && d == 0) {
+            parts.push_back(cur);
+            cur.clear();
+            continue;
+          }
+        }
+        cur.push_back(c);
+      }
+      parts.push_back(cur);
+    }
+    if (parts.size() != 4) continue;
+    const auto unquote = [](const std::string& s) {
+      const std::string t = trim(s);
+      if (t.size() >= 2 && t.front() == '"' && t.back() == '"')
+        return t.substr(1, t.size() - 2);
+      return t;
+    };
+    ObsNameEntry e;
+    e.ident = trim(parts[0]);
+    e.kind = trim(parts[1]);
+    e.name = unquote(parts[2]);
+    e.fields = unquote(parts[3]);
+    e.line = static_cast<int>(li + 1);
+    if (!e.ident.empty() && !e.kind.empty() && !e.name.empty())
+      out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string names_markdown(const std::vector<ObsNameEntry>& entries) {
+  std::ostringstream o;
+  o << "### Trace events\n\n"
+    << "| Event | Fields |\n"
+    << "|---|---|\n";
+  for (const ObsNameEntry& e : entries)
+    if (e.kind == "trace")
+      o << "| `" << e.name << "` | " << (e.fields.empty() ? "—" : e.fields)
+        << " |\n";
+  static const std::pair<const char*, const char*> kKindHeadings[] = {
+      {"counter", "Counters"},
+      {"gauge", "Gauges"},
+      {"summary", "Summaries"},
+      {"histogram", "Histograms"},
+  };
+  for (const auto& [kind, heading] : kKindHeadings) {
+    bool any = false;
+    for (const ObsNameEntry& e : entries) any = any || e.kind == kind;
+    if (!any) continue;
+    o << "\n### " << heading << "\n\n"
+      << "| Metric | Notes |\n"
+      << "|---|---|\n";
+    for (const ObsNameEntry& e : entries)
+      if (e.kind == kind)
+        o << "| `" << e.name << "` | " << (e.fields.empty() ? "—" : e.fields)
+          << " |\n";
+  }
   return o.str();
 }
 

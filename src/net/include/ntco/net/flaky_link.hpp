@@ -5,6 +5,7 @@
 #include "ntco/common/rng.hpp"
 #include "ntco/net/link.hpp"
 #include "ntco/net/transport.hpp"
+#include "ntco/obs/trace.hpp"
 
 /// \file flaky_link.hpp
 /// Failure injection for network links.

@@ -7,6 +7,7 @@
 #include "ntco/net/flaky_link.hpp"
 #include "ntco/net/link.hpp"
 #include "ntco/net/transport.hpp"
+#include "ntco/obs/trace.hpp"
 
 /// \file path.hpp
 /// Private-link Transport implementation plus the calibrated technology

@@ -5,7 +5,6 @@
 #include <vector>
 
 #include "ntco/app/task_graph.hpp"
-#include "ntco/common/contracts.hpp"
 #include "ntco/common/units.hpp"
 #include "ntco/device/device.hpp"
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "ntco/app/task_graph.hpp"
 #include "ntco/common/error.hpp"
 #include "ntco/partition/max_flow.hpp"
 

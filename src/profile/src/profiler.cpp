@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "ntco/common/error.hpp"
 
 namespace ntco::profile {
 

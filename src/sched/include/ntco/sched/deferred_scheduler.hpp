@@ -4,12 +4,12 @@
 #include <string>
 #include <vector>
 
-#include "ntco/common/contracts.hpp"
 #include "ntco/common/units.hpp"
 #include "ntco/obs/metrics.hpp"
 #include "ntco/obs/trace.hpp"
 #include "ntco/serverless/platform.hpp"
 #include "ntco/sim/simulator.hpp"
+#include "ntco/stats/accumulator.hpp"
 #include "ntco/stats/percentile.hpp"
 
 /// \file deferred_scheduler.hpp

@@ -2,7 +2,6 @@
 
 #include <string>
 
-#include "ntco/common/contracts.hpp"
 #include "ntco/common/units.hpp"
 #include "ntco/device/device.hpp"
 #include "ntco/net/mobility.hpp"

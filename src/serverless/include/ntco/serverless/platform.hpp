@@ -8,14 +8,13 @@
 #include <string>
 #include <vector>
 
-#include "ntco/common/contracts.hpp"
-#include "ntco/common/error.hpp"
 #include "ntco/common/price_window.hpp"
 #include "ntco/common/rng.hpp"
 #include "ntco/common/units.hpp"
 #include "ntco/obs/metrics.hpp"
 #include "ntco/obs/trace.hpp"
 #include "ntco/sim/simulator.hpp"
+#include "ntco/stats/accumulator.hpp"
 
 /// \file platform.hpp
 /// Serverless (FaaS) platform simulator.

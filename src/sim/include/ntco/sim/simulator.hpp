@@ -140,15 +140,15 @@ class Simulator : public obs::TraceClock {
   /// old sequential-id kernel exactly.
   [[nodiscard]] std::vector<EventId> pending_event_ids() const {
     std::vector<std::pair<std::uint64_t, EventId>> by_seq;
-    by_seq.reserve(pending_count_);
+    by_seq.reserve(pending_count_);  // ntco-lint: allow(R6) introspection helper, never called from the event loop
     for (std::uint32_t slot = 0; slot < slot_count_; ++slot) {
       const std::uint32_t m = meta_[slot];
       if ((m & kStateMask) == kPending)
-        by_seq.emplace_back(slot_ref(slot).seq, make_id(slot, m >> kStateBits));
+        by_seq.emplace_back(slot_ref(slot).seq, make_id(slot, m >> kStateBits));  // ntco-lint: allow(R6) introspection helper, never called from the event loop
     }
     std::sort(by_seq.begin(), by_seq.end());
     std::vector<EventId> ids;
-    ids.reserve(by_seq.size());
+    ids.reserve(by_seq.size());  // ntco-lint: allow(R6) introspection helper, never called from the event loop
     for (const auto& [seq, id] : by_seq) ids.push_back(id);
     return ids;
   }
@@ -293,7 +293,7 @@ class Simulator : public obs::TraceClock {
     }
     NTCO_EXPECTS(slot_count_ < kNoSlot);  // arena is 2^32-1 slots max
     if ((slot_count_ & (kChunkSize - 1)) == 0)
-      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));  // ntco-lint: allow(R6) amortized arena growth: one chunk per kChunkSize slots, none once the slot free-list warms up
     meta_.push_back(kFree);
     return slot_count_++;
   }
@@ -312,7 +312,7 @@ class Simulator : public obs::TraceClock {
   // shift nodes into the hole and place the moving node once at the end,
   // instead of swapping at every level (half the data movement).
   void heap_push(HeapNode node) {
-    heap_.push_back(node);
+    heap_.push_back(node);  // ntco-lint: allow(R6) amortized: heap capacity plateaus at peak pending events, then pushes never allocate
     std::size_t i = heap_.size() - 1;
     while (i > 0) {
       const std::size_t parent = (i - 1) / 4;

@@ -1,5 +1,7 @@
 // The simulation kernel is header-only; this translation unit exists so the
 // module builds as a normal static library and the headers get compiled
 // (and their warnings surfaced) even before any consumer exists.
+// ntco-lint: allow(R8) compile anchor: this TU exists to build the headers
 #include "ntco/sim/server_pool.hpp"
+// ntco-lint: allow(R8) compile anchor: this TU exists to build the headers
 #include "ntco/sim/simulator.hpp"

@@ -2,7 +2,6 @@
 
 #include <cstddef>
 
-#include "ntco/common/contracts.hpp"
 
 /// \file queueing.hpp
 /// Closed-form queueing results used to size pools analytically and to

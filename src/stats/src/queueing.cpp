@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "ntco/common/contracts.hpp"
+
 namespace ntco::stats {
 
 double erlang_b(std::size_t servers, double a) {

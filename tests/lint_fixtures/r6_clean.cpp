@@ -1,0 +1,16 @@
+// R6 fixture, clean: pre-sizing outside the region, reuse inside it, and
+// one reasoned allow for a deliberate amortized growth.
+#include <vector>
+
+void prep(std::vector<int>& v) {
+  v.reserve(64);  // growth before the hot region opens is fine
+}
+
+// ntco-lint: hotpath begin
+void serve(std::vector<int>& v, int x) {
+  v[0] = x;  // writes into pre-sized storage
+  int scratch[4] = {x, x, x, x};
+  (void)scratch;
+  v.push_back(x);  // ntco-lint: allow(R6) fixture: amortized growth is deliberate here
+}
+// ntco-lint: hotpath end

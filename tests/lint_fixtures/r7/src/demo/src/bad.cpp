@@ -1,0 +1,11 @@
+// R7 fixture: an unregistered name and a kind mismatch.
+
+namespace ntco::demo {
+
+template <typename Sink, typename Metrics, typename Clock>
+void emit_bad(Sink* trace, Metrics& m, Clock now) {
+  obs::emit(trace, now, "demo.typo", {});
+  m.gauge("demo.jobs").set(1.0);
+}
+
+}  // namespace ntco::demo

@@ -1,0 +1,12 @@
+// R7 fixture: every name used here is registered with the matching kind.
+
+namespace ntco::demo {
+
+template <typename Sink, typename Metrics, typename Clock>
+void emit_good(Sink* trace, Metrics& m, Clock now) {
+  obs::emit(trace, now, "demo.event", {});
+  m.counter("demo.jobs").add();
+  obs::emit(trace, now, "demo.dup", {});
+}
+
+}  // namespace ntco::demo

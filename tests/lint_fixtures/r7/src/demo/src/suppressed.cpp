@@ -1,0 +1,11 @@
+// R7 fixture: an unregistered name, deliberately kept under an allow.
+
+namespace ntco::demo {
+
+template <typename Sink, typename Clock>
+void emit_prototype(Sink* trace, Clock now) {
+  // ntco-lint: allow(R7) fixture: prototype name, registry row lands with the real emitter
+  obs::emit(trace, now, "demo.unregistered", {});
+}
+
+}  // namespace ntco::demo

@@ -1,0 +1,16 @@
+// R7 fixture registry: one live trace, one live counter, one dead row,
+// and a deliberately duplicated name.
+#pragma once
+
+#define NTCO_OBS_NAME(ident, kind, name, fields) \
+  inline constexpr const char* ident = name;
+
+namespace ntco::obs::names {
+
+NTCO_OBS_NAME(kDemoEvent, trace, "demo.event", "`id`")
+NTCO_OBS_NAME(kDemoJobs, counter, "demo.jobs", "jobs admitted")
+NTCO_OBS_NAME(kDemoDead, counter, "demo.dead", "registered, never emitted")
+NTCO_OBS_NAME(kDemoDupA, trace, "demo.dup", "first row")
+NTCO_OBS_NAME(kDemoDupB, trace, "demo.dup", "second row carries the finding")
+
+}  // namespace ntco::obs::names

@@ -1,0 +1,12 @@
+// R8 fixture: associated header — re-exports widget.hpp for gadget.cpp.
+#pragma once
+
+#include "ntco/app/widget.hpp"
+
+namespace ntco::app {
+
+struct Gadget {
+  Widget core;
+};
+
+}  // namespace ntco::app

@@ -1,0 +1,16 @@
+// strip_code fixture: the digit separator inside 16'667 and the u8 char
+// literal below must not derail the stripper — otherwise Tuned is never
+// collected and tuned_user.cpp's include reads as stale.
+#pragma once
+
+namespace ntco::app {
+
+inline long nano_per_frame() { return 16'667; }
+
+inline constexpr char kGlyph = u8'x';
+
+struct Tuned {
+  long period = nano_per_frame();
+};
+
+}  // namespace ntco::app

@@ -1,0 +1,12 @@
+// R8 fixture: the header whose include edges the consumers get right or
+// wrong.
+#pragma once
+
+namespace ntco::app {
+
+class Widget {
+ public:
+  int weight() const { return 42; }
+};
+
+}  // namespace ntco::app

@@ -1,0 +1,11 @@
+// R8 fixture: the .cpp leans on its associated header's re-export of
+// widget.hpp — IWYU's associated-header exemption.
+#include "ntco/app/gadget.hpp"
+
+namespace ntco::app {
+
+int gadget_weight(const app::Widget& w, const Gadget& g) {
+  return g.core.weight() + w.weight();
+}
+
+}  // namespace ntco::app

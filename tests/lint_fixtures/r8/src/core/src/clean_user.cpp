@@ -1,0 +1,8 @@
+// R8 fixture: direct include, symbol used — hygienic.
+#include "ntco/app/widget.hpp"
+
+namespace ntco::core {
+
+int weigh(const app::Widget& w) { return w.weight(); }
+
+}  // namespace ntco::core

@@ -1,0 +1,12 @@
+// R8 fixture: a namespace-scope forward declaration satisfies pointer
+// uses (IWYU's fwd-decl escape), so no include is required.
+
+namespace ntco::app {
+class Widget;
+}  // namespace ntco::app
+
+namespace ntco::core {
+
+int count_widgets(const app::Widget* w) { return w == nullptr ? 0 : 1; }
+
+}  // namespace ntco::core

@@ -1,0 +1,8 @@
+// R8 fixture: names app::Widget with no include and no forward
+// declaration in sight.
+
+namespace ntco::core {
+
+int use_widget(const app::Widget& w) { return w.weight(); }
+
+}  // namespace ntco::core

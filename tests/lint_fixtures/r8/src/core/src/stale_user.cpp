@@ -1,0 +1,8 @@
+// R8 fixture: includes the widget header but never touches Widget.
+#include "ntco/app/widget.hpp"
+
+namespace ntco::core {
+
+int nothing_from_widget() { return 7; }
+
+}  // namespace ntco::core

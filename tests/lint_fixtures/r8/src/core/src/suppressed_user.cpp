@@ -1,0 +1,9 @@
+// R8 fixture: a deliberately kept include, suppressed with a reason.
+// ntco-lint: allow(R8) fixture: compile anchor include kept on purpose
+#include "ntco/app/widget.hpp"
+
+namespace ntco::core {
+
+int anchored() { return 1; }
+
+}  // namespace ntco::core

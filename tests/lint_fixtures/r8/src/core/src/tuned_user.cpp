@@ -1,0 +1,9 @@
+// R8 fixture: hygienic include of the digit-separator header — only clean
+// if the stripper kept 16'667 and u8'x' intact.
+#include "ntco/app/tuned.hpp"
+
+namespace ntco::core {
+
+long tuned_period(const app::Tuned& t) { return t.period; }
+
+}  // namespace ntco::core

@@ -1,0 +1,16 @@
+// strip_code fixture: raw strings with non-empty delimiters must be
+// blanked without ending at a lookalike ')x"' terminator.
+
+const char* kDoc = R"doc(
+std::random_device prose;  // inside the raw string: must not fire
+auto t = std::chrono::system_clock::now();
+)doc";
+
+const char* kTricky = R"ab(an early )a" does not close this)ab";
+
+const char* kEmpty = R"(std::rand() and getenv("X") stay quiet too)";
+
+int real_violation() {
+  std::random_device rd;  // the stripper recovered: this one fires
+  return rd();
+}

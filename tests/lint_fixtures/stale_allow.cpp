@@ -1,0 +1,6 @@
+// Suppression-staleness fixture: this allow silences nothing.
+
+int fine() {
+  // ntco-lint: allow(R2) fixture: nothing here actually violates R2
+  return 1;
+}

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -186,6 +187,229 @@ TEST(LintSuppression, MissingReasonFailsClosed) {
   EXPECT_TRUE(r.suppressions.empty());
 }
 
+TEST(LintSuppression, UnusedAllowIsReportedStale) {
+  const Report r = scan({"stale_allow.cpp"});
+  EXPECT_TRUE(r.diagnostics.empty());
+  // A stale directive still counts as a (well-formed) suppression; it is
+  // *additionally* reported stale so --fail-stale can gate on it.
+  EXPECT_EQ(r.suppressions.size(), 1u);
+  ASSERT_EQ(r.stale_suppressions.size(), 1u);
+  EXPECT_EQ(r.stale_suppressions[0].line, 4);
+  EXPECT_EQ(r.stale_suppressions[0].rules, "R2");
+}
+
+// ---------------------------------------------------------------------------
+// R6: hot-path allocation.
+
+TEST(LintR6, FlagsAllocationInsideMarkedRegion) {
+  const Report r = scan({"r6_violation.cpp"});
+  const auto d = of_rule(r, Rule::R6);
+  ASSERT_EQ(d.size(), 5u);
+  EXPECT_TRUE(has_line(d, 12));  // new
+  EXPECT_TRUE(has_line(d, 13));  // push_back
+  EXPECT_TRUE(has_line(d, 14));  // make_shared
+  EXPECT_TRUE(has_line(d, 15));  // std::function
+  EXPECT_TRUE(has_line(d, 16));  // resize
+  EXPECT_EQ(r.diagnostics.size(), d.size()) << "no other rules should fire";
+}
+
+TEST(LintR6, OutsideRegionAndReasonedAllowPass) {
+  const Report r = scan({"r6_clean.cpp"});
+  EXPECT_TRUE(r.diagnostics.empty())
+      << "first: " << (r.diagnostics.empty() ? "" : r.diagnostics[0].message);
+  ASSERT_EQ(r.suppressions.size(), 1u);
+  EXPECT_EQ(r.suppressions[0].rules, "R6");
+}
+
+TEST(LintR6, HotpathFileListCoversTheWholeFile) {
+  // The same clean fixture, but listed whole-file hot: the reserve() that
+  // sat before the marked region now fires; the allow still holds.
+  Config cfg = default_config(fixture_root());
+  cfg.exclude.clear();
+  cfg.roots = {"r6_clean.cpp"};
+  cfg.hotpath_files = {"r6_clean.cpp"};
+  const Report r = run(cfg);
+  const auto d = of_rule(r, Rule::R6);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_TRUE(has_line(d, 6));  // v.reserve(64)
+  EXPECT_EQ(r.suppressions.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// R7: telemetry-name contract.
+
+TEST(LintR7, EnforcesRegistryContractAcrossTheTree) {
+  const Report r = scan({"src"}, "r7");
+  const auto d = of_rule(r, Rule::R7);
+  ASSERT_EQ(d.size(), 4u);
+  int unknown = 0, kind = 0, dup = 0, dead = 0;
+  for (const auto& diag : d) {
+    if (diag.fingerprint.find("|name:demo.typo") != std::string::npos) {
+      ++unknown;
+      EXPECT_EQ(diag.line, 7);
+    }
+    if (diag.fingerprint.find("|kind:demo.jobs") != std::string::npos) {
+      ++kind;
+      EXPECT_EQ(diag.line, 8);  // counter used as a gauge
+    }
+    if (diag.fingerprint.find("|dup:demo.dup") != std::string::npos) {
+      ++dup;
+      EXPECT_EQ(diag.line, 14);  // the second registry row
+    }
+    if (diag.fingerprint.find("|dead:demo.dead") != std::string::npos) {
+      ++dead;
+      EXPECT_EQ(diag.line, 12);
+    }
+  }
+  EXPECT_EQ(unknown, 1);
+  EXPECT_EQ(kind, 1);
+  EXPECT_EQ(dup, 1);
+  EXPECT_EQ(dead, 1);
+  EXPECT_EQ(r.diagnostics.size(), d.size()) << "no other rules should fire";
+  // The registered names good.cpp emits (including the duplicated one)
+  // produce nothing; the unregistered prototype name is allow(R7)'d.
+  ASSERT_EQ(r.suppressions.size(), 1u);
+  EXPECT_EQ(r.suppressions[0].rules, "R7");
+}
+
+TEST(LintR7, RegistryLoaderParsesRowsInFileOrder) {
+  const auto entries = load_names_registry(
+      fixture_root() + "/r7/src/obs/include/ntco/obs/names.hpp");
+  ASSERT_EQ(entries.size(), 5u);
+  EXPECT_EQ(entries[0].ident, "kDemoEvent");
+  EXPECT_EQ(entries[0].kind, "trace");
+  EXPECT_EQ(entries[0].name, "demo.event");
+  EXPECT_EQ(entries[0].fields, "`id`");
+  EXPECT_EQ(entries[0].line, 10);
+  EXPECT_EQ(entries[1].kind, "counter");
+  EXPECT_EQ(entries[4].name, "demo.dup");
+  const std::string md = names_markdown(entries);
+  EXPECT_NE(md.find("demo.event"), std::string::npos);
+  EXPECT_NE(md.find("demo.jobs"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// R8: include hygiene.
+
+TEST(LintR8, FlagsStaleAndMissingIncludesAcrossFiles) {
+  const Report r = scan({"src"}, "r8");
+  const auto d = of_rule(r, Rule::R8);
+  ASSERT_EQ(d.size(), 2u);
+  for (const auto& diag : d) {
+    if (diag.fingerprint.find("|stale:") != std::string::npos) {
+      EXPECT_NE(diag.file.find("stale_user"), std::string::npos) << diag.file;
+      EXPECT_EQ(diag.line, 2);
+    } else {
+      EXPECT_NE(diag.fingerprint.find("|missing:ntco/app/widget.hpp"),
+                std::string::npos)
+          << diag.fingerprint;
+      EXPECT_NE(diag.file.find("missing_user"), std::string::npos)
+          << diag.file;
+      EXPECT_EQ(diag.line, 6);
+    }
+  }
+  // clean_user (direct include + use), fwd_user (namespace-scope forward
+  // declaration), gadget.cpp (associated-header re-export), and tuned_user
+  // (digit separator + u8 literal in the header) all pass.
+  EXPECT_EQ(r.diagnostics.size(), 2u);
+  ASSERT_EQ(r.suppressions.size(), 1u);
+  EXPECT_EQ(r.suppressions[0].rules, "R8");
+}
+
+// ---------------------------------------------------------------------------
+// R9: kernel-handler capture audit.
+
+TEST(LintR9, FlagsCopyCapturesAndSboOverflow) {
+  const Report r = scan({"r9_violation.cpp"});
+  const auto d = of_rule(r, Rule::R9);
+  ASSERT_EQ(d.size(), 5u);
+  int copies = 0, sbo = 0;
+  for (const auto& diag : d) {
+    if (diag.fingerprint.find("|copy:") != std::string::npos) ++copies;
+    if (diag.fingerprint.find("|sbo:") != std::string::npos) ++sbo;
+  }
+  EXPECT_EQ(copies, 2);  // plain-copied string + vector at line 11
+  EXPECT_EQ(sbo, 3);     // 56-byte copies, 7 scalars, moved 80-byte deque
+  EXPECT_TRUE(has_line(d, 11));
+  EXPECT_TRUE(has_line(d, 18));
+  EXPECT_TRUE(has_line(d, 25));
+  EXPECT_EQ(r.diagnostics.size(), d.size()) << "no other rules should fire";
+}
+
+TEST(LintR9, MovesReferencesAndScalarsPass) {
+  const Report r = scan({"r9_clean.cpp"});
+  EXPECT_TRUE(r.diagnostics.empty())
+      << "first: " << (r.diagnostics.empty() ? "" : r.diagnostics[0].message);
+}
+
+TEST(LintR9, OneDirectiveAbsorbsAllFindingsOnTheCallLine) {
+  const Report r = scan({"r9_suppressed.cpp"});
+  EXPECT_TRUE(r.diagnostics.empty());
+  EXPECT_TRUE(r.stale_suppressions.empty());
+  ASSERT_EQ(r.suppressions.size(), 1u);
+  EXPECT_EQ(r.suppressions[0].rules, "R9");
+}
+
+// ---------------------------------------------------------------------------
+// Stripper: raw strings with non-empty delimiters.
+
+TEST(LintStrip, RawStringDelimitersBlankContentAndRecover) {
+  const Report r = scan({"rawstring.cpp"});
+  const auto d = of_rule(r, Rule::R1);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_TRUE(has_line(d, 14)) << "only the code after the raw strings";
+  EXPECT_EQ(r.diagnostics.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance probes against the real repo config: the two deliberate
+// regressions named in the issue must fail the gate.
+
+TEST(LintAcceptance, TypoedMetricNameFailsAgainstRealRegistry) {
+  Config cfg = default_config(NTCO_LINT_REPO_ROOT);
+  Report rep;
+  analyze_source(cfg, "src/sched/src/typo_probe.cpp",
+                 "void f(M& m) { m.counter(\"sched.jbos.planned\").add(); }\n",
+                 rep);
+  const auto d = of_rule(rep, Rule::R7);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_NE(d[0].fingerprint.find("name:sched.jbos.planned"),
+            std::string::npos);
+}
+
+TEST(LintAcceptance, HotpathGrowthInKernelFails) {
+  Config cfg = default_config(NTCO_LINT_REPO_ROOT);
+  ASSERT_FALSE(cfg.hotpath_files.empty())
+      << "tools/lint_hotpath.txt must seed the hot file list";
+  Report rep;
+  analyze_source(cfg, "src/sim/include/ntco/sim/simulator.hpp",
+                 "void f(std::vector<int>& v) { v.push_back(1); }\n", rep);
+  EXPECT_EQ(of_rule(rep, Rule::R6).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cache.
+
+TEST(LintCache, WarmRunServesFromCacheWithIdenticalFindings) {
+  Config cfg = default_config(fixture_root());
+  cfg.exclude.clear();
+  cfg.roots = {"r6_violation.cpp", "r9_violation.cpp"};
+  const std::string cache = ::testing::TempDir() + "ntco_lint_cache_test.txt";
+  std::remove(cache.c_str());
+  const Report cold = run(cfg, cache);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, 2u);
+  const Report warm = run(cfg, cache);
+  EXPECT_EQ(warm.cache_hits, 2u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  ASSERT_EQ(warm.diagnostics.size(), cold.diagnostics.size());
+  for (std::size_t i = 0; i < warm.diagnostics.size(); ++i) {
+    EXPECT_EQ(warm.diagnostics[i].fingerprint, cold.diagnostics[i].fingerprint);
+    EXPECT_EQ(warm.diagnostics[i].line, cold.diagnostics[i].line);
+  }
+  std::remove(cache.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Baseline.
 
@@ -226,6 +450,22 @@ TEST(LintReport, JsonCarriesCountsDiagnosticsAndSuppressions) {
   EXPECT_NE(json.find("\"suppressions\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"rule\": \"R2\""), std::string::npos);
   EXPECT_NE(json.find("order-insensitive"), std::string::npos);
+}
+
+TEST(LintReport, SarifCarriesRulesResultsAndLocations) {
+  const Report r = scan({"r6_violation.cpp"});
+  const std::string s = to_sarif(r, r.diagnostics);
+  EXPECT_NE(s.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\": \"ntco-lint\""), std::string::npos);
+  EXPECT_NE(s.find("\"ruleId\": \"R6\""), std::string::npos);
+  EXPECT_NE(s.find("\"level\": \"error\""), std::string::npos) << "fresh";
+  EXPECT_NE(s.find("r6_violation.cpp"), std::string::npos);
+  EXPECT_NE(s.find("\"startLine\": 12"), std::string::npos);
+  EXPECT_NE(s.find("partialFingerprints"), std::string::npos);
+  // Baselined diagnostics downgrade to "note".
+  const std::string noted = to_sarif(r, {});
+  EXPECT_EQ(noted.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(noted.find("\"level\": \"note\""), std::string::npos);
 }
 
 TEST(LintReport, RepoTreeIsCleanUnderDefaultConfig) {

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "ntco/app/workloads.hpp"
+#include "ntco/broker/broker.hpp"
+#include "ntco/continuum/federation.hpp"
+#include "ntco/edgesim/edge_platform.hpp"
+#include "ntco/lint/lint.hpp"
+#include "ntco/net/path.hpp"
+#include "ntco/obs/metrics.hpp"
+#include "ntco/obs/trace.hpp"
+#include "ntco/serverless/platform.hpp"
+#include "ntco/sim/simulator.hpp"
+
+// Round-trip contract test for the telemetry-name registry: drive real
+// broker and continuum scenarios with live observers and assert that every
+// trace and metric name they emit exists in src/obs/include/ntco/obs/
+// names.hpp with the matching kind. This is the runtime side of lint rule
+// R7 (which checks the same contract statically at call sites): a name can
+// only reach an artifact if the registry documents it.
+
+namespace ntco {
+namespace {
+
+/// TraceSink that records the distinct event names it sees.
+struct RecordingSink final : obs::TraceSink {
+  std::set<std::string> names;
+  void record(const obs::TraceEvent& ev) override {
+    names.insert(std::string(ev.name));
+  }
+};
+
+/// name -> kinds registered for it (the registry allows one name under
+/// several kinds only as an error, but the loader reports what is there).
+std::map<std::string, std::set<std::string>> registry_kinds() {
+  const auto entries = lint::load_names_registry(
+      std::string(NTCO_LINT_REPO_ROOT) + "/src/obs/include/ntco/obs/names.hpp");
+  std::map<std::string, std::set<std::string>> kinds;
+  for (const auto& e : entries) kinds[e.name].insert(e.kind);
+  return kinds;
+}
+
+void expect_traces_registered(
+    const RecordingSink& sink,
+    const std::map<std::string, std::set<std::string>>& kinds) {
+  ASSERT_FALSE(sink.names.empty()) << "scenario emitted no trace records";
+  for (const auto& n : sink.names) {
+    const auto it = kinds.find(n);
+    ASSERT_NE(it, kinds.end()) << "unregistered trace name: " << n;
+    EXPECT_EQ(it->second.count("trace"), 1u)
+        << n << " is registered but not as a trace";
+  }
+}
+
+void expect_metrics_registered(
+    const obs::MetricsRegistry& metrics,
+    const std::map<std::string, std::set<std::string>>& kinds) {
+  ASSERT_GT(metrics.size(), 0u) << "scenario registered no metrics";
+  std::istringstream csv(metrics.to_csv());
+  std::string line;
+  std::getline(csv, line);  // header
+  std::set<std::string> checked;
+  while (std::getline(csv, line)) {
+    const std::size_t c1 = line.find(',');
+    const std::size_t c2 = line.find(',', c1 + 1);
+    ASSERT_NE(c2, std::string::npos) << line;
+    const std::string name = line.substr(0, c1);
+    const std::string kind = line.substr(c1 + 1, c2 - c1 - 1);
+    if (!checked.insert(name + "|" + kind).second) continue;
+    const auto it = kinds.find(name);
+    ASSERT_NE(it, kinds.end()) << "unregistered metric name: " << name;
+    EXPECT_EQ(it->second.count(kind), 1u)
+        << name << " is registered but not as a " << kind;
+  }
+}
+
+TEST(ObsNames, BrokerServePathEmitsOnlyRegisteredNames) {
+  const auto kinds = registry_kinds();
+  ASSERT_FALSE(kinds.empty());
+
+  sim::Simulator sim;
+  serverless::Platform platform(sim, {});
+  device::Device ue(device::budget_phone());
+  net::NetworkPath path(net::make_fixed_path(net::profile_wifi()));
+  core::OffloadController controller(sim, platform, ue, path, {});
+  partition::MinCutPartitioner mincut;
+  broker::Broker broker(sim, platform, controller, mincut, {});
+
+  RecordingSink sink;
+  obs::MetricsRegistry metrics;
+  platform.attach_observer(&sink, &metrics);
+  controller.attach_observer(&sink, &metrics);
+  broker.attach_observer(&sink, &metrics);
+
+  const auto g = app::workloads::photo_backup();
+  broker::ServeRequest req;
+  req.app = &g;
+  int done = 0;
+  broker.serve(req, [&](const broker::ServeOutcome&) { ++done; });
+  broker.serve(req, [&](const broker::ServeOutcome&) { ++done; });
+  sim.run();
+  ASSERT_EQ(done, 2);
+
+  expect_traces_registered(sink, kinds);
+  expect_metrics_registered(metrics, kinds);
+}
+
+TEST(ObsNames, ContinuumPlacementEmitsOnlyRegisteredNames) {
+  const auto kinds = registry_kinds();
+  ASSERT_FALSE(kinds.empty());
+
+  sim::Simulator sim;
+  edgesim::EdgeConfig ecfg;
+  ecfg.servers = 1;
+  ecfg.server_speed = Frequency::gigahertz(2.0);
+  ecfg.request_overhead = Duration::millis(2);
+  edgesim::EdgePlatform edge(sim, ecfg);
+  serverless::PlatformConfig ccfg;
+  ccfg.cold_start_base = Duration::millis(100);
+  ccfg.spot_mean_time_to_preempt = Duration::zero();
+  serverless::Platform cloud(sim, ccfg);
+  serverless::FunctionSpec fn_spec;
+  fn_spec.name = "job";
+  fn_spec.memory = DataSize::megabytes(1792);
+  fn_spec.image = DataSize::megabytes(10);
+  const auto fn = cloud.deploy(fn_spec);
+
+  net::PathSpec lan_spec;
+  lan_spec.name = "lan";
+  lan_spec.up = {DataRate::megabits_per_second(800), Duration::millis(1), 0.0,
+                 0.0};
+  lan_spec.down = lan_spec.up;
+  net::PathSpec wan_spec;
+  wan_spec.name = "wan";
+  wan_spec.up = {DataRate::megabits_per_second(40), Duration::millis(25), 0.0,
+                 0.0};
+  wan_spec.down = wan_spec.up;
+  auto lan = net::make_path(lan_spec);
+  auto wan = net::make_path(wan_spec);
+
+  continuum::Federation fed(sim);
+  fed.add_site(continuum::Site(0, "edge", continuum::SiteTier::Edge, edge, lan));
+  fed.add_site(
+      continuum::Site(1, "cloud", continuum::SiteTier::Cloud, cloud, fn, wan));
+
+  RecordingSink sink;
+  obs::MetricsRegistry metrics;
+  fed.attach_observer(&sink, &metrics);
+
+  continuum::JobSpec spec;
+  spec.work = Cycles::giga(2);
+  spec.input = DataSize::megabytes(1);
+  spec.output = DataSize::megabytes(1);
+  spec.state = DataSize::megabytes(2);
+  int done = 0;
+  // Two jobs on a one-server edge: the second either queues or spills,
+  // widening the set of emitted names past the happy path.
+  fed.submit(spec, [&](const continuum::JobOutcome&) { ++done; });
+  fed.submit(spec, [&](const continuum::JobOutcome&) { ++done; });
+  sim.run();
+  ASSERT_EQ(done, 2);
+
+  expect_traces_registered(sink, kinds);
+  expect_metrics_registered(metrics, kinds);
+}
+
+}  // namespace
+}  // namespace ntco

@@ -3,13 +3,15 @@
 #
 #   1. configure (warnings are errors: NTCO_WERROR=ON) and build just the
 #      ntco-lint target — seconds, not minutes
-#   2. run ntco-lint, the static determinism & layering gate (rules R1-R5,
+#   2. run ntco-lint, the static determinism & layering gate (rules R1-R9,
 #      see DESIGN.md "Static analysis & determinism contract"): any
 #      diagnostic not absorbed by tools/lint_baseline.txt fails here,
-#      before the expensive builds; the JSON report lands in the build dir
+#      before the expensive builds — as does any stale suppression
+#      (--fail-stale). The phase-1 index cache makes repeat runs
+#      sub-second; JSON and SARIF reports land in the build dir
 #   3. build everything else (tests, benches, examples)
-#   4. run the unit/integration suite (ctest; includes LintClean again so
-#      a local `ctest` run gets the same gate)
+#   4. run the unit/integration suite (ctest; includes LintClean and
+#      LintSelfClean again so a local `ctest` run gets the same gates)
 #   5. prove the fleet determinism contract end-to-end:
 #      bench_f5_scale_users, bench_f12_broker, bench_f13_fabric_contention,
 #      and bench_f14_continuum must emit byte-identical stdout and
@@ -47,7 +49,10 @@ echo "== [2/8] ntco-lint: static determinism & layering gate =="
 "$BUILD_DIR/tools/ntco-lint" \
   --root "$SRC_DIR" \
   --baseline "$SRC_DIR/tools/lint_baseline.txt" \
-  --json-out "$BUILD_DIR/ntco-lint-report.json"
+  --cache "$BUILD_DIR/ntco-lint-cache.txt" \
+  --json-out "$BUILD_DIR/ntco-lint-report.json" \
+  --sarif "$BUILD_DIR/ntco-lint.sarif" \
+  --fail-stale
 
 echo "== [3/8] build everything =="
 cmake --build "$BUILD_DIR" -j "$JOBS"

@@ -13,7 +13,8 @@
 /// (ASan/TSan). See DESIGN.md "Static analysis & determinism contract".
 ///
 ///   ntco-lint [--root DIR] [--baseline FILE] [--json-out FILE]
-///             [--write-baseline FILE] [paths...]
+///             [--sarif FILE] [--cache FILE] [--fail-stale]
+///             [--write-baseline FILE] [--dump-names] [paths...]
 ///
 /// Scans src/ bench/ tests/ examples/ under --root (or the given relative
 /// paths instead), prints `file:line: [Rn] message` for every diagnostic
@@ -25,14 +26,27 @@ int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " [--root DIR] [--baseline FILE] [--json-out FILE]\n"
-         "       [--write-baseline FILE] [paths...]\n"
+         "       [--sarif FILE] [--cache FILE] [--fail-stale]\n"
+         "       [--write-baseline FILE] [--dump-names] [paths...]\n"
          "\n"
-         "Determinism & layering lint for the ntco tree. Rules:\n"
+         "Determinism, layering & hot-path lint for the ntco tree. Rules:\n"
          "  R1  nondeterminism sources outside sanctioned files\n"
          "  R2  iteration over unordered containers\n"
          "  R3  threading primitives outside src/fleet/\n"
          "  R4  module-layering back-edges (declared DAG over ntco includes)\n"
          "  R5  += accumulation of unordered-container lookups\n"
+         "  R6  allocation inside hot-path regions (tools/lint_hotpath.txt\n"
+         "      or hotpath begin/end markers)\n"
+         "  R7  telemetry names missing from src/obs/.../names.hpp (and\n"
+         "      dead registry rows)\n"
+         "  R8  stale includes / missing direct includes (IWYU-lite)\n"
+         "  R9  kernel handler lambdas over the 48-byte InlineFunction SBO\n"
+         "\n"
+         "  --cache FILE   reuse per-file indexes across runs (content hash)\n"
+         "  --sarif FILE   write a SARIF 2.1.0 report next to the JSON one\n"
+         "  --fail-stale   exit 1 if any allow() directive silenced nothing\n"
+         "  --dump-names   print DESIGN.md markdown tables from the name\n"
+         "                 registry and exit\n"
          "\n"
          "Suppress inline (reason mandatory, counted in the report):\n"
          "  code();  " /* keep the directive non-contiguous in this binary's
@@ -50,7 +64,11 @@ int main(int argc, char** argv) {
   std::string root = ".";
   std::string baseline_path;
   std::string json_out;
+  std::string sarif_out;
+  std::string cache_path;
   std::string write_baseline;
+  bool fail_stale = false;
+  bool dump_names = false;
   std::vector<std::string> roots;
 
   for (int i = 1; i < argc; ++i) {
@@ -65,6 +83,14 @@ int main(int argc, char** argv) {
       if (const char* v = next()) baseline_path = v; else return usage(argv[0]);
     } else if (arg == "--json-out") {
       if (const char* v = next()) json_out = v; else return usage(argv[0]);
+    } else if (arg == "--sarif") {
+      if (const char* v = next()) sarif_out = v; else return usage(argv[0]);
+    } else if (arg == "--cache") {
+      if (const char* v = next()) cache_path = v; else return usage(argv[0]);
+    } else if (arg == "--fail-stale") {
+      fail_stale = true;
+    } else if (arg == "--dump-names") {
+      dump_names = true;
     } else if (arg == "--write-baseline") {
       if (const char* v = next()) write_baseline = v; else return usage(argv[0]);
     } else if (arg == "--help" || arg == "-h") {
@@ -82,7 +108,19 @@ int main(int argc, char** argv) {
     ntco::lint::Config cfg = ntco::lint::default_config(root);
     if (!roots.empty()) cfg.roots = roots;
 
-    const ntco::lint::Report report = ntco::lint::run(cfg);
+    if (dump_names) {
+      const auto entries = ntco::lint::load_names_registry(
+          root + "/" + cfg.names_registry);
+      if (entries.empty()) {
+        std::cerr << "ntco-lint: no entries in " << cfg.names_registry
+                  << "\n";
+        return 2;
+      }
+      std::cout << ntco::lint::names_markdown(entries);
+      return 0;
+    }
+
+    const ntco::lint::Report report = ntco::lint::run(cfg, cache_path);
 
     ntco::lint::Baseline baseline;
     if (!baseline_path.empty())
@@ -116,12 +154,31 @@ int main(int argc, char** argv) {
       out << ntco::lint::to_json(report, fresh);
     }
 
-    std::cout << "ntco-lint: " << report.files_scanned << " files, "
+    if (!sarif_out.empty()) {
+      std::ofstream out(sarif_out, std::ios::binary);
+      if (!out) {
+        std::cerr << "ntco-lint: cannot write SARIF " << sarif_out << "\n";
+        return 2;
+      }
+      out << ntco::lint::to_sarif(report, fresh);
+    }
+
+    if (fail_stale) {
+      for (const auto& s : report.stale_suppressions)
+        std::cout << s.file << ":" << s.line << ": stale suppression ("
+                  << s.rules << ") — its rule no longer fires here\n";
+    }
+
+    std::cout << "ntco-lint: " << report.files_scanned << " files ("
+              << report.cache_hits << " cached), "
               << report.diagnostics.size() << " diagnostics ("
               << report.diagnostics.size() - fresh.size() << " baselined), "
-              << report.suppressions.size() << " suppressions, "
+              << report.suppressions.size() << " suppressions ("
+              << report.stale_suppressions.size() << " stale), "
               << fresh.size() << " new\n";
-    return fresh.empty() ? 0 : 1;
+    if (!fresh.empty()) return 1;
+    if (fail_stale && !report.stale_suppressions.empty()) return 1;
+    return 0;
   } catch (const std::exception& e) {
     std::cerr << "ntco-lint: error: " << e.what() << "\n";
     return 2;
