@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "ntco/common/units.hpp"
+#include "ntco/dataplane/backpressure.hpp"
 #include "ntco/obs/metrics.hpp"
 #include "ntco/obs/trace.hpp"
 
@@ -99,6 +100,20 @@ class AdmissionController {
   /// clears the probe. The probe must be deterministic in simulated time.
   void set_capacity_probe(std::function<double()> probe);
 
+  /// Couples the deferral policy to *measured* serving backpressure: at
+  /// each decide(), the source's pressure() (clamped to [0, 1]) shrinks
+  /// the effective deferral-queue bound to max_deferred·(1−p) (floored at
+  /// one slot) and stretches the quoted retry wait by (1+p) — saturated
+  /// rings shed earlier and spread retries wider, instead of the broker
+  /// introspecting a mutex-guarded queue depth. Null clears the source;
+  /// the pointee must outlive the controller.
+  ///
+  /// Determinism contract: artifact-producing runs must wire a source
+  /// that is a pure function of simulated state (tests use stubs) or
+  /// leave it unwired; dataplane::Engine::pressure() is wall-clock racy
+  /// and belongs only in live-serving setups.
+  void set_backpressure_source(const dataplane::BackpressureSource* src);
+
  private:
   void refill(TimePoint now);
   [[nodiscard]] double effective_rate() const;
@@ -111,6 +126,7 @@ class AdmissionController {
 
   AdmissionConfig cfg_;
   std::function<double()> capacity_probe_;
+  const dataplane::BackpressureSource* backpressure_ = nullptr;
   double tokens_;
   TimePoint last_refill_;
   AdmissionStats stats_;

@@ -7,6 +7,7 @@
 
 #include "ntco/app/task_graph.hpp"
 #include "ntco/broker/admission.hpp"
+#include "ntco/dataplane/backpressure.hpp"
 #include "ntco/broker/batch_dispatcher.hpp"
 #include "ntco/broker/plan_cache.hpp"
 #include "ntco/common/units.hpp"
@@ -143,6 +144,13 @@ class Broker {
   /// particular capacity provider.
   void set_capacity_probe(std::function<double()> probe) {
     admission_.set_capacity_probe(std::move(probe));
+  }
+
+  /// Forwards to AdmissionController::set_backpressure_source: admission
+  /// throttles on measured dataplane ring occupancy instead of a mutexed
+  /// queue depth (see admission.hpp for the determinism contract).
+  void set_backpressure_source(const dataplane::BackpressureSource* src) {
+    admission_.set_backpressure_source(src);
   }
 
  private:

@@ -28,6 +28,11 @@ void AdmissionController::set_capacity_probe(std::function<double()> probe) {
   capacity_probe_ = std::move(probe);
 }
 
+void AdmissionController::set_backpressure_source(
+    const dataplane::BackpressureSource* src) {
+  backpressure_ = src;
+}
+
 double AdmissionController::effective_rate() const {
   if (!capacity_probe_) return cfg_.rate_per_second;
   return cfg_.rate_per_second *
@@ -57,6 +62,13 @@ AdmissionDecision AdmissionController::decide(TimePoint now,
   // thundering back together at the next refill.
   const double deficit = 1.0 - tokens_;
   const double backlog = static_cast<double>(stats_.deferred_outstanding);
+  // Ring backpressure stretches the quoted wait and shrinks the deferral
+  // bound: overload at the serving rings pushes work further into the
+  // future (these jobs are non-time-critical) before it sheds anything.
+  const double pressure =
+      backpressure_ == nullptr
+          ? 0.0
+          : std::clamp(backpressure_->pressure(), 0.0, 1.0);
   // Quote against the capacity-scaled rate (floored so a stalled refill
   // quotes a finite — if hopeless — wait instead of dividing by zero, and
   // capped so the arithmetic stays inside Duration's range).
@@ -64,7 +76,8 @@ AdmissionDecision AdmissionController::decide(TimePoint now,
   const Duration wait = std::max(
       cfg_.min_defer,
       std::min(Duration::minutes(60),
-               Duration::from_seconds((backlog + deficit) / rate)));
+               Duration::from_seconds((backlog + deficit) * (1.0 + pressure) /
+                                      rate)));
   const TimePoint retry_at = now + wait;
 
   // QueueFull outranks DeadlineTooTight: a full deferral queue sheds the
@@ -72,8 +85,11 @@ AdmissionDecision AdmissionController::decide(TimePoint now,
   // derived from a backlog the request cannot even join — attributing the
   // shed to the client's deadline would misreport capacity exhaustion as
   // a client-side problem (and steer SLO dashboards at the wrong knob).
+  const auto deferral_bound = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(cfg_.max_deferred) *
+                                  (1.0 - pressure)));
   ShedReason reason = ShedReason::None;
-  if (stats_.deferred_outstanding >= cfg_.max_deferred) {
+  if (stats_.deferred_outstanding >= deferral_bound) {
     reason = ShedReason::QueueFull;
   } else if (retry_at + est > deadline) {
     reason = ShedReason::DeadlineTooTight;

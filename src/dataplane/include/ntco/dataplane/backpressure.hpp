@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file backpressure.hpp
+/// Read-side interface to the dataplane's ring occupancy.
+///
+/// Upstream serving layers (the broker's admission controller) throttle on
+/// *measured ring backpressure* instead of introspecting a mutex-guarded
+/// queue: the dataplane publishes a single normalized pressure signal and
+/// keeps its internals private. The split of responsibilities matters for
+/// determinism: timing-derived pressure may steer *capacity* decisions
+/// (how many requests to defer, how many cores to run), never the
+/// simulated results themselves — byte-reproducible experiments wire a
+/// deterministic source (a stub, or a simulated-backlog proxy) while live
+/// serving wires dataplane::Engine directly.
+
+namespace ntco::dataplane {
+
+/// Anything that can quote instantaneous dataplane pressure.
+class BackpressureSource {
+ public:
+  virtual ~BackpressureSource() = default;
+
+  /// Pressure in [0, 1]: 0 = request rings idle, 1 = rings full (every
+  /// enqueue would block). Callable from any thread; values are racy
+  /// snapshots and must only feed throttling heuristics.
+  [[nodiscard]] virtual double pressure() const = 0;
+};
+
+}  // namespace ntco::dataplane

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file controller.hpp
+/// NFVCtrl-style core orchestration policy for the dataplane.
+///
+/// The CoreController decides, between epochs, how many workers the engine
+/// should keep live. Its inputs are *measured* signals — mean request-ring
+/// occupancy over the epoch and the undispatched backlog — and its output
+/// is a worker-count target the engine realises by parking or unparking
+/// threads. Like NFVCtrl's core map, it keeps a per-worker `core_liveness`
+/// array: liveness[w] counts the epochs worker w was live, which is both
+/// the scheduling record benches report ("per-core occupancy") and the
+/// fairness signal for future placement policies.
+///
+/// Policy (deliberately boring, hysteresis over cleverness):
+///   - scale UP by one worker after `sustain_epochs` consecutive epochs
+///     with mean occupancy >= scale_up_occupancy *and* remaining backlog —
+///     a transient burst never grabs a core;
+///   - scale DOWN by one worker after `idle_epochs` consecutive epochs
+///     with mean occupancy <= scale_down_occupancy — a brief lull never
+///     drops one;
+///   - always within [min_workers, pool] and never more workers than
+///     remaining shards can use.
+///
+/// Determinism note: occupancy is timing-dependent, so the controller may
+/// only ever influence *where and how fast* shards run, never their
+/// results. The engine guarantees that by construction (epoch membership
+/// and merge order are pure functions of the shard index), so the
+/// controller is free to be as reactive as it likes.
+
+namespace ntco::dataplane {
+
+/// Tuning knobs. Defaults favour stability on small epochs.
+struct ControllerConfig {
+  std::size_t min_workers = 1;
+  double scale_up_occupancy = 0.75;   ///< mean ring fill that counts as backlog
+  double scale_down_occupancy = 0.05; ///< mean ring fill that counts as idle
+  std::size_t sustain_epochs = 2;     ///< backlogged epochs before acquiring
+  std::size_t idle_epochs = 4;        ///< idle epochs before releasing
+  bool enabled = true;                ///< false: hold the initial worker count
+};
+
+/// Lifetime scaling record.
+struct ControllerStats {
+  std::uint64_t epochs = 0;
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+};
+
+/// Epoch-grained worker-count policy. Not thread-safe; the engine's
+/// orchestrator thread owns it.
+class CoreController {
+ public:
+  /// `pool` is the engine's spawned worker count (the hard ceiling).
+  CoreController(ControllerConfig cfg, std::size_t pool);
+
+  /// One epoch has drained. `active` workers were live, the epoch's mean
+  /// request-ring occupancy was `mean_occupancy` (in [0,1]), and `pending`
+  /// shards remain undispatched. Returns the worker count for the next
+  /// epoch; updates liveness and scaling stats.
+  [[nodiscard]] std::size_t plan(std::size_t active, double mean_occupancy,
+                                 std::size_t pending);
+
+  /// Epochs each worker index has been live (`core_liveness`).
+  [[nodiscard]] const std::vector<std::uint64_t>& liveness() const {
+    return liveness_;
+  }
+  [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t pool() const { return liveness_.size(); }
+
+ private:
+  ControllerConfig cfg_;
+  std::vector<std::uint64_t> liveness_;
+  ControllerStats stats_;
+  std::size_t backlog_streak_ = 0;
+  std::size_t idle_streak_ = 0;
+};
+
+}  // namespace ntco::dataplane

@@ -1,0 +1,54 @@
+#include "ntco/dataplane/controller.hpp"
+
+#include <algorithm>
+
+#include "ntco/common/contracts.hpp"
+
+namespace ntco::dataplane {
+
+CoreController::CoreController(ControllerConfig cfg, std::size_t pool)
+    : cfg_(cfg), liveness_(pool, 0) {
+  NTCO_EXPECTS(pool >= 1);
+  NTCO_EXPECTS(cfg_.min_workers >= 1);
+  NTCO_EXPECTS(cfg_.scale_down_occupancy <= cfg_.scale_up_occupancy);
+}
+
+std::size_t CoreController::plan(std::size_t active, double mean_occupancy,
+                                 std::size_t pending) {
+  NTCO_EXPECTS(active >= 1 && active <= pool());
+  ++stats_.epochs;
+  for (std::size_t w = 0; w < active; ++w) ++liveness_[w];
+
+  std::size_t target = active;
+  if (cfg_.enabled) {
+    if (mean_occupancy >= cfg_.scale_up_occupancy && pending > 0) {
+      ++backlog_streak_;
+      idle_streak_ = 0;
+      if (backlog_streak_ >= cfg_.sustain_epochs) {
+        target = active + 1;
+        backlog_streak_ = 0;
+      }
+    } else if (mean_occupancy <= cfg_.scale_down_occupancy) {
+      ++idle_streak_;
+      backlog_streak_ = 0;
+      if (idle_streak_ >= cfg_.idle_epochs) {
+        target = active - 1;
+        idle_streak_ = 0;
+      }
+    } else {
+      backlog_streak_ = 0;
+      idle_streak_ = 0;
+    }
+  }
+
+  const std::size_t floor = std::max<std::size_t>(cfg_.min_workers, 1);
+  std::size_t ceil = pool();
+  // No point holding more cores than there are shards left to run.
+  if (pending > 0) ceil = std::min(ceil, pending);
+  target = std::clamp(target, std::min(floor, ceil), ceil);
+  if (target > active) ++stats_.scale_ups;
+  if (target < active) ++stats_.scale_downs;
+  return target;
+}
+
+}  // namespace ntco::dataplane

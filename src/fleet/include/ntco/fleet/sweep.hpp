@@ -40,6 +40,11 @@ class Sweep {
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
   [[nodiscard]] std::size_t threads() const { return replicator_.threads(); }
 
+  /// The underlying Replicator — dataplane engine knobs and run stats
+  /// (epochs, per-core liveness) for sweeps that report them.
+  [[nodiscard]] Replicator& replicator() { return replicator_; }
+  [[nodiscard]] const Replicator& replicator() const { return replicator_; }
+
   /// Runs `replicas` evaluations of `body(point_value, ReplicaContext&)`
   /// per point. Returns results grouped by point (point order), replicas
   /// in replica order within each group.

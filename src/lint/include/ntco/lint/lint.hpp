@@ -125,7 +125,7 @@ struct Config {
       "bench/",
   };
   /// R3 sanctioned prefixes: the only concurrent code in the repo.
-  std::vector<std::string> r3_allow{"src/fleet/"};
+  std::vector<std::string> r3_allow{"src/fleet/", "src/dataplane/"};
   /// R4 declared module DAG: module -> direct dependencies. An include
   /// edge is legal iff its target is reachable from the includer.
   /// Files under bench/, tests/, examples/, tools/ map to the pseudo

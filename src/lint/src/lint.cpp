@@ -1764,7 +1764,8 @@ Config default_config(std::string root) {
   cfg.dag = {
       {"common", {}},
       {"stats", {"common"}},
-      {"fleet", {"common"}},
+      {"dataplane", {"sim", "common", "obs"}},
+      {"fleet", {"common", "dataplane"}},
       {"device", {"common"}},
       {"app", {"common"}},
       {"lint", {}},
@@ -1779,7 +1780,7 @@ Config default_config(std::string root) {
       {"sched", {"serverless", "net", "device", "stats"}},
       {"alloc", {"serverless"}},
       {"core", {"alloc", "partition", "net", "app", "device"}},
-      {"broker", {"core", "sched", "obs"}},
+      {"broker", {"core", "sched", "obs", "dataplane"}},
       {"continuum",
        {"serverless", "edgesim", "net", "fabric", "sim", "core", "obs",
         "common"}},
@@ -2100,10 +2101,10 @@ std::vector<ObsNameEntry> load_names_registry(const std::string& path) {
     }
     if (parts.size() != 4) continue;
     const auto unquote = [](const std::string& s) {
-      const std::string t = trim(s);
-      if (t.size() >= 2 && t.front() == '"' && t.back() == '"')
-        return t.substr(1, t.size() - 2);
-      return t;
+      const std::string u = trim(s);
+      if (u.size() >= 2 && u.front() == '"' && u.back() == '"')
+        return u.substr(1, u.size() - 2);
+      return u;
     };
     ObsNameEntry e;
     e.ident = trim(parts[0]);

@@ -16,16 +16,18 @@
 #      bench_f5_scale_users, bench_f12_broker, bench_f13_fabric_contention,
 #      and bench_f14_continuum must emit byte-identical stdout and
 #      NTCO_BENCH_OUT artifacts with NTCO_THREADS=1 and NTCO_THREADS=8
-#   6. run bench_micro_sim and bench_micro_fabric and compare their gated
-#      loops against the checked-in BENCH_micro_sim.json /
-#      BENCH_micro_fabric.json baselines: a drop of more than 10% in
+#   6. run bench_micro_sim, bench_micro_fabric, and bench_micro_ring and
+#      compare their gated loops against the checked-in
+#      BENCH_micro_sim.json / BENCH_micro_fabric.json /
+#      BENCH_micro_ring.json baselines: a drop of more than 10% in
 #      items_per_second fails the gate (benchmarks are noisy; 10% is
 #      beyond run-to-run jitter for these loops). Refresh a baseline by
 #      copying the build's JSON to the repo root after a deliberate
-#      kernel/fabric change.
-#   7. rebuild under ThreadSanitizer and rerun the fleet, broker, and
-#      fabric-fleet suites (everything that exercises the worker pool) —
-#      ctest -R '^Fleet|^Broker|^FabricFleet'
+#      kernel/fabric/ring change.
+#   7. rebuild under ThreadSanitizer and rerun the fleet, broker,
+#      fabric-fleet, and dataplane suites (everything that exercises the
+#      worker pool or the lock-free rings) —
+#      ctest -R '^Fleet|^Broker|^FabricFleet|^Dataplane'
 #   8. rebuild under ASan + UBSan and rerun the whole suite
 #
 #   tools/ci.sh [build-dir]             (default: build-ci)
@@ -107,23 +109,28 @@ gate_micro bench_micro_sim BENCH_micro_sim.json \
   "BM_ScheduleFireCancel/1024" "BM_ScheduleFireCancel/8192"
 gate_micro bench_micro_fabric BENCH_micro_fabric.json \
   "BM_AdmitExpireChurn/1024" "BM_AdmitExpireChurn/8192"
+# Only the single-threaded ring loops are gated: the ping-pong and
+# epoch-barrier benches spawn threads, and their numbers are scheduler
+# noise on shared or single-core runners.
+gate_micro bench_micro_ring BENCH_micro_ring.json \
+  "BM_RingSinglePushPop/1024" "BM_RingBatchedPushPop/1024"
 
 if [ "${NTCO_CI_SKIP_SANITIZERS:-0}" = "1" ]; then
   echo "== sanitizer stages skipped (NTCO_CI_SKIP_SANITIZERS=1) =="
   exit 0
 fi
 
-echo "== [7/8] ThreadSanitizer: fleet + broker + continuum suites =="
+echo "== [7/8] ThreadSanitizer: fleet + broker + continuum + dataplane suites =="
 cmake -B "$BUILD_DIR-tsan" -S "$SRC_DIR" \
   -DNTCO_SANITIZE=thread \
   -DNTCO_BUILD_BENCHMARKS=OFF -DNTCO_BUILD_EXAMPLES=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR-tsan" \
-  --target fleet_test broker_test fabric_test continuum_test \
+  --target fleet_test broker_test fabric_test continuum_test dataplane_test \
   -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure \
-  -R '^Fleet|^Broker|^FabricFleet'
+  -R '^Fleet|^Broker|^FabricFleet|^Dataplane'
 
 echo "== [8/8] ASan + UBSan: full suite =="
 "$SRC_DIR/tools/sanitize.sh" address "$BUILD_DIR-asan"
