@@ -1,0 +1,256 @@
+// F16 — A diurnal day at population scale: one million users replayed
+// open-loop through the broker on the dataplane engine.
+//
+// A full simulated day of open-loop demand: arrivals follow a Markov-
+// modulated Poisson process whose base rate traces the residential
+// two-peak envelope (morning shoulder, workday trough, dominant 19:00-
+// 23:00 evening peak) with a 3x burst chain on top — flash crowds a few
+// minutes long, an open-loop stream that keeps coming whether or not the
+// broker keeps up. Each arrival is one user offering one non-time-
+// critical job with hours of slack; the broker serves with plan cache,
+// deadline-aware admission, CheapestWindow deferral into the overnight
+// off-peak window (x0.55), and batch dispatch.
+//
+// Expected shape: the cache keyspace saturates within the first simulated
+// hours, so the hit rate plateaus above 80% (TTL-bounded: a
+// neighbourhood's arrivals are sparse, so entries must live out their
+// tariff window to be reused) and the mean decision stays sub-millisecond
+// across the whole day — including through the evening peak, where
+// admission defers the overload down to its sustained rate instead of
+// shedding it (the non-time-critical premise: overload waits, since
+// almost everyone's slack reaches the off-peak window anyway). $/job
+// lands near the off-peak multiplier; sheds concentrate in the tight-
+// slack tail squeezed by peak-hour backlogs, under 1% of the day.
+//
+// Scale: each fleet shard replays an independent neighbourhood of the
+// same diurnal day (mean ~1.1k arrivals/shard-day); the top point runs
+// 1024 shards — >1 M users through brokers in one run. Shards merge in
+// shard order, so the table and NTCO_BENCH_OUT artifacts are byte-
+// identical at any NTCO_THREADS (ci.sh step-5 gate). Wall-clock goes to
+// stderr only. Tracing attaches only up to the kTraceShardsCap point.
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ntco/app/arrivals.hpp"
+#include "ntco/broker/broker.hpp"
+#include "ntco/fleet/replicator.hpp"
+#include "ntco/stats/percentile.hpp"
+
+using namespace ntco;
+
+namespace {
+
+constexpr int kTraceShardsCap = 2;  // largest point with tracing attached
+const auto kDay = Duration::hours(24);
+
+/// Everything one shard (one neighbourhood: broker + platform + cache)
+/// reports back for the shard-ordered merge.
+struct ShardResult {
+  stats::PercentileSample decision_us;  // non-shed requests
+  std::uint64_t users = 0;              // arrivals offered (open loop)
+  std::uint64_t peak_hour_users = 0;    // arrivals in 19:00-23:00
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deferrals = 0;
+  std::uint64_t cache_hits = 0;  // exact + hysteresis
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cold_starts = 0;
+  std::uint64_t batches = 0;
+  double cloud_usd = 0.0;
+  obs::MetricsRegistry metrics;
+  obs::JsonlTraceWriter trace;
+};
+
+ShardResult simulate_shard(bool metrics_on, bool trace_on,
+                           fleet::ShardContext& ctx) {
+  ShardResult out;
+  const auto graphs = app::workloads::all();
+
+  // The day's arrivals draw first, in a fixed order: the offered load is
+  // a pure function of (seed, shard).
+  app::MmppConfig acfg;
+  acfg.mean_rate_per_second = 1100.0 / (24.0 * 3600.0);  // ~1.1k users/day
+  acfg.profile = app::DiurnalProfile::residential_evening();
+  acfg.burst_multiplier = 3.0;  // flash crowds on top of the envelope
+  app::ArrivalObserver watch;
+  if (trace_on) watch.trace = &out.trace;
+  if (metrics_on) watch.metrics = &out.metrics;
+  const TimePoint t0 = TimePoint::origin();
+  const auto arrivals = app::mmpp_arrivals(acfg, t0, kDay, ctx.rng, watch);
+
+  /// One user's draw from the population distribution, fixed order again.
+  struct User {
+    std::size_t workload = 0;
+    Duration slack;
+    double battery = 1.0;
+    double bw_scale = 1.0;
+  };
+  std::vector<User> pop;
+  pop.reserve(arrivals.size());
+  for (std::size_t u = 0; u < arrivals.size(); ++u) {
+    User usr;
+    usr.workload = static_cast<std::size_t>(ctx.rng.uniform_int(
+        0, static_cast<std::int64_t>(graphs.size()) - 1));
+    // 10% tight tail (minutes); the rest ride to the off-peak window.
+    usr.slack = ctx.rng.uniform(0.0, 1.0) < 0.1
+                    ? Duration::minutes(2) +
+                          Duration::minutes(6) * ctx.rng.uniform(0.0, 1.0)
+                    : Duration::hours(6) +
+                          Duration::hours(6) * ctx.rng.uniform(0.0, 1.0);
+    usr.battery = ctx.rng.uniform(0.05, 1.0);
+    usr.bw_scale = std::exp2(ctx.rng.uniform(-2.0, 2.0));
+    pop.push_back(usr);
+  }
+
+  serverless::PlatformConfig pcfg;
+  pcfg.price_windows = {{22, 6, 0.55}};  // overnight off-peak discount
+  bench::World w(bench::ntc_cfg(), net::profile_wifi(), pcfg);
+  partition::MinCutPartitioner mincut;
+
+  broker::BrokerConfig bcfg;
+  // A neighbourhood's arrivals are sparse (~1 per 80 s), so the default
+  // 1 h TTL would expire most entries between uses. Plans are keyed by
+  // 6 h tariff window anyway — let them live out their window.
+  bcfg.cache.ttl = Duration::hours(6);
+  // Sustained planning rate sized to the *mean* day: the evening peak
+  // (~2.2x mean, bursts 3x on top) has to defer its overflow into the
+  // trough, which is exactly the open-loop story under test.
+  bcfg.admission.rate_per_second = 0.05;
+  bcfg.admission.burst = 8.0;
+  bcfg.admission.min_defer = Duration::seconds(30);
+  bcfg.defer.policy = sched::Policy::CheapestWindow;
+  broker::Broker b(w.sim, w.cloud, w.controller, mincut, bcfg);
+  if (metrics_on) {
+    w.controller.attach_observer(nullptr, &out.metrics);
+    w.cloud.attach_observer(nullptr, &out.metrics);
+  }
+  b.attach_observer(trace_on ? &out.trace : nullptr,
+                    metrics_on ? &out.metrics : nullptr);
+
+  out.users = arrivals.size();
+  for (std::size_t u = 0; u < arrivals.size(); ++u) {
+    const TimePoint at = arrivals[u];
+    const int hour = static_cast<int>(
+        (at.since_origin().count_micros() / 3'600'000'000LL) % 24);
+    if (hour >= 19 && hour < 23) ++out.peak_hour_users;
+    w.sim.schedule_at(at, [&b, &graphs, &pop, &out, u] {
+      const User& usr = pop[u];
+      broker::ServeRequest req;
+      req.app = &graphs[usr.workload];
+      req.slack = usr.slack;
+      req.battery = usr.battery;
+      req.bandwidth_scale = usr.bw_scale;
+      b.serve(req, [&out](const broker::ServeOutcome& o) {
+        if (o.status == broker::ServeStatus::Shed) return;
+        out.decision_us.add(
+            static_cast<double>(o.decision_latency.count_micros()));
+      });
+    });
+  }
+  w.sim.run();
+
+  out.completed = b.stats().completed;
+  out.failed = b.stats().failed;
+  out.shed = b.stats().shed;
+  out.deferrals = b.admission().stats().deferrals;
+  const broker::PlanCacheStats& cs = b.cache().stats();
+  out.cache_hits = cs.hits + cs.hysteresis_hits;
+  out.cache_misses = cs.misses;
+  out.cold_starts = w.cloud.stats().cold_starts;
+  out.batches = b.dispatcher().stats().batches;
+  out.cloud_usd = w.cloud.total_cost().to_usd();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::ReportWriter report(
+      "F16", "A diurnal day: a million open-loop users through the broker",
+      "hit rate plateaus above 80%, mean decision stays sub-ms through "
+      "the evening peak, $/job rides the off-peak multiplier");
+
+  obs::JsonlTraceWriter trace;
+  obs::MetricsRegistry metrics;
+  const bool observe = report.machine_output();
+
+  stats::Table t({"shards", "users", "peak-4h", "hit rate", "$/job",
+                  "dec mean (us)", "dec p99 (us)", "colds", "shed", "defers",
+                  "batches"});
+  for (const int shards : {2, 16, 1024}) {
+    const bool trace_on = observe && shards <= kTraceShardsCap;
+    const auto wall_start = std::chrono::steady_clock::now();
+    fleet::Replicator rep(61);
+    auto merged = rep.reduce(
+        static_cast<std::size_t>(shards), ShardResult{},
+        [&](fleet::ShardContext& ctx) {
+          return simulate_shard(observe, trace_on, ctx);
+        },
+        [](ShardResult& acc, ShardResult&& shard, std::size_t) {
+          acc.decision_us.merge(shard.decision_us);
+          acc.users += shard.users;
+          acc.peak_hour_users += shard.peak_hour_users;
+          acc.completed += shard.completed;
+          acc.failed += shard.failed;
+          acc.shed += shard.shed;
+          acc.deferrals += shard.deferrals;
+          acc.cache_hits += shard.cache_hits;
+          acc.cache_misses += shard.cache_misses;
+          acc.cold_starts += shard.cold_starts;
+          acc.batches += shard.batches;
+          acc.cloud_usd += shard.cloud_usd;
+          acc.metrics.merge_from(shard.metrics);
+          acc.trace.append_from(shard.trace);
+        });
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+
+    const std::uint64_t lookups = merged.cache_hits + merged.cache_misses;
+    const double hit_rate = lookups == 0
+                                ? 0.0
+                                : static_cast<double>(merged.cache_hits) /
+                                      static_cast<double>(lookups);
+    const std::uint64_t served = merged.completed + merged.failed;
+    t.add_row({std::to_string(shards), std::to_string(merged.users),
+               std::to_string(merged.peak_hour_users),
+               stats::cell_pct(hit_rate, 1),
+               stats::cell(served == 0 ? 0.0
+                                       : merged.cloud_usd /
+                                             static_cast<double>(served),
+                           6),
+               stats::cell(merged.decision_us.mean(), 1),
+               stats::cell(merged.decision_us.p99(), 1),
+               std::to_string(merged.cold_starts),
+               std::to_string(merged.shed), std::to_string(merged.deferrals),
+               std::to_string(merged.batches)});
+
+    std::fprintf(stderr, "[F16] shards=%d users=%llu wall=%.2fs jobs/sec=%.0f\n",
+                 shards, static_cast<unsigned long long>(merged.users), wall_s,
+                 wall_s > 0.0 ? static_cast<double>(merged.users) / wall_s
+                              : 0.0);
+
+    metrics.merge_from(merged.metrics);
+    if (trace_on) trace.append_from(merged.trace);
+  }
+  t.set_title(
+      "F16: 24 h MMPP day per shard (residential two-peak envelope, 3x "
+      "burst chain, ~1.1k users/shard-day; off-peak x0.55 22:00-06:00; "
+      "10% tight-slack tail)");
+  t.set_caption(
+      "open loop: arrivals keep coming at the process rate; the evening "
+      "peak defers its overflow into the overnight trough instead of "
+      "shedding it; shards merge in shard order (byte-stable at any "
+      "NTCO_THREADS)");
+  report.emit(t);
+  report.emit_metrics(metrics);
+  report.emit_trace(trace);
+  return 0;
+}

@@ -27,6 +27,11 @@
 ///     checked first: a full queue sheds regardless of slack, so a
 ///     request that hits both conditions reports the capacity problem,
 ///     not the deadline.
+/// One check runs before any of that: a request that is infeasible *on
+/// arrival* (`now + est > deadline` — it would miss even if admitted this
+/// instant) is shed as DeadlineTooTight without consuming a token. That
+/// shed is genuinely the client's problem, so it precedes the QueueFull
+/// attribution rule, which only governs wait-induced misses.
 /// Shedding is loud by design: a silent drop would read as a simulator bug,
 /// an explicit reason is an SLO signal.
 ///
@@ -50,8 +55,10 @@ enum class AdmissionVerdict : std::uint8_t { Admitted, Deferred, Shed };
 
 enum class ShedReason : std::uint8_t {
   None,
-  DeadlineTooTight,  ///< retry_at + estimated duration overshoots deadline
-  QueueFull,         ///< max_deferred requests already waiting
+  /// now + est (infeasible on arrival) or retry_at + est (cannot absorb
+  /// the deferral wait) overshoots the deadline.
+  DeadlineTooTight,
+  QueueFull,  ///< max_deferred requests already waiting
 };
 
 struct AdmissionDecision {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "ntco/app/task_graph.hpp"
@@ -14,6 +15,7 @@
 #include "ntco/core/controller.hpp"
 #include "ntco/obs/metrics.hpp"
 #include "ntco/obs/trace.hpp"
+#include "ntco/partition/cost_model.hpp"
 #include "ntco/partition/partitioners.hpp"
 #include "ntco/sched/deferred_scheduler.hpp"
 #include "ntco/serverless/platform.hpp"
@@ -43,6 +45,15 @@
 ///    aligned on a price-window grid and released as lane-chained batches,
 ///    so warm instances amortise across users, not just within one user.
 ///
+/// With `two_stage_enabled` the miss path splits in two (the
+/// dynamic-vehicular pipeline): stage 1 answers every request immediately
+/// — cache hit, or a cheap heuristic placement at `heuristic_cost` — and
+/// stage 2 resolves the exact solver asynchronously, publishing its plan
+/// through the cache so the *next* request in the bucket gets the exact
+/// answer. Fast-churn clients (short link residence) never wait multi-ms
+/// solver latency; the solver's work drains in the background, stretched
+/// by measured dataplane backpressure.
+///
 /// One broker serves one shard. Fleet runs give every shard its own
 /// broker + platform + cache (see bench_f12_broker); merged artifacts are
 /// byte-identical at any NTCO_THREADS because nothing here draws on wall
@@ -59,6 +70,22 @@ struct BrokerConfig {
   bool cache_enabled = true;
   /// Disable to dispatch each job individually at its planned start.
   bool batching_enabled = true;
+  /// Two-stage decision pipeline (the dynamic-vehicular fast path): a
+  /// cache miss is answered *immediately* by a cheap heuristic placement
+  /// (cost `heuristic_cost`), while the exact solver resolves
+  /// asynchronously and refreshes the cache for subsequent requests in
+  /// the same bucket. At most one exact solve is in flight per cache
+  /// bucket; measured dataplane backpressure stretches the resolve
+  /// latency (saturated rings delay refinement, never the fast answer).
+  /// Requires cache_enabled (the cache is the stage-1 lookup and the
+  /// stage-2 publication point).
+  bool two_stage_enabled = false;
+  /// Simulated cost of the stage-1 heuristic placement.
+  Duration heuristic_cost = Duration::micros(40);
+  /// Stage-1 heuristic partitioner; null uses the built-in all-remote
+  /// rule (offload everything not pinned — O(components), no search).
+  /// Must outlive the broker when set.
+  const partition::Partitioner* heuristic_partitioner = nullptr;
   /// Simulated cost of computing a plan from scratch (profile → partition
   /// → allocate): base plus a per-component term. Charged as decision
   /// latency before dispatch.
@@ -69,7 +96,10 @@ struct BrokerConfig {
 };
 
 /// One user's offload request. `app` must outlive the serve (the broker
-/// executes against it); it doubles as estimate and truth.
+/// executes against it); it doubles as estimate and truth. Under
+/// `two_stage_enabled` it must also outlive the asynchronous exact
+/// resolve — in practice, keep task graphs alive until the simulator
+/// drains.
 struct ServeRequest {
   const app::TaskGraph* app = nullptr;
   /// Delay tolerance: the job may finish any time within release + slack.
@@ -91,6 +121,9 @@ struct ServeOutcome {
   ServeStatus status = ServeStatus::Completed;
   ShedReason shed_reason = ShedReason::None;
   bool cache_hit = false;       ///< plan came from the cache
+  /// Served by the stage-1 heuristic while the exact solve resolved
+  /// asynchronously (two-stage pipeline only).
+  bool heuristic_serve = false;
   Duration decision_latency;    ///< simulated planning/serving time
   TimePoint released;           ///< when serve() was called
   TimePoint finished;           ///< when the outcome fired
@@ -103,6 +136,13 @@ struct BrokerStats {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
   std::uint64_t shed = 0;
+};
+
+/// Two-stage pipeline accounting (zero unless two_stage_enabled).
+struct TwoStageStats {
+  std::uint64_t fast_serves = 0;  ///< misses answered by the heuristic
+  std::uint64_t resolves = 0;     ///< asynchronous exact solves completed
+  std::uint64_t agreements = 0;   ///< exact placement == heuristic placement
 };
 
 /// Population-scale serving facade over one OffloadController.
@@ -124,6 +164,7 @@ class Broker {
              std::function<void(const ServeOutcome&)> done = {});
 
   [[nodiscard]] const BrokerStats& stats() const { return stats_; }
+  [[nodiscard]] const TwoStageStats& twostage() const { return twostage_; }
   [[nodiscard]] const PlanCache& cache() const { return cache_; }
   [[nodiscard]] const AdmissionController& admission() const {
     return admission_;
@@ -148,8 +189,12 @@ class Broker {
 
   /// Forwards to AdmissionController::set_backpressure_source: admission
   /// throttles on measured dataplane ring occupancy instead of a mutexed
-  /// queue depth (see admission.hpp for the determinism contract).
+  /// queue depth (see admission.hpp for the determinism contract). The
+  /// two-stage pipeline reads the same source: pressure p stretches the
+  /// asynchronous exact-resolve latency by (1+p), so saturated rings slow
+  /// refinement down before they slow serving down.
   void set_backpressure_source(const dataplane::BackpressureSource* src) {
+    backpressure_ = src;
     admission_.set_backpressure_source(src);
   }
 
@@ -161,13 +206,35 @@ class Broker {
   void decide_and_dispatch(ServeRequest req, TimePoint released,
                            std::uint64_t deferrals,
                            std::function<void(const ServeOutcome&)> done);
-  /// Rough pre-planning duration estimate used by admission.
-  [[nodiscard]] Duration admission_estimate(const app::TaskGraph& g) const;
+  /// Rough pre-planning duration estimate used by admission: service time
+  /// at the reference memory *plus* the wireless leg at the transport's
+  /// nominal spec rates scaled by this user's link quality. Checking the
+  /// deadline jointly against transfer and service is what gives hard-
+  /// deadline (vehicular) populations real shed pressure — a short link
+  /// residence cannot absorb a transfer-dominated job no matter how fast
+  /// the cloud is.
+  [[nodiscard]] Duration admission_estimate(const app::TaskGraph& g,
+                                            double bandwidth_scale) const;
+
+  /// Kicks off the asynchronous stage-2 exact solve for `ctx`'s bucket
+  /// unless one is already in flight there.
+  void schedule_exact_resolve(const DecisionContext& ctx,
+                              const app::TaskGraph& g,
+                              partition::Environment env,
+                              partition::Partition heuristic);
+  /// Stage-1 heuristic partitioner (config override or built-in rule).
+  [[nodiscard]] const partition::Partitioner& stage1_partitioner() const {
+    return cfg_.heuristic_partitioner != nullptr ? *cfg_.heuristic_partitioner
+                                                 : all_remote_;
+  }
 
   struct Instruments {
     obs::Counter* requests = nullptr;
     obs::Counter* completed = nullptr;
     obs::Counter* failed = nullptr;
+    obs::Counter* fast_serves = nullptr;
+    obs::Counter* resolves = nullptr;
+    obs::Counter* agreements = nullptr;
     stats::Accumulator* decision_us = nullptr;
     stats::Accumulator* job_cost_usd = nullptr;
     stats::Accumulator* completion_s = nullptr;
@@ -182,7 +249,14 @@ class Broker {
   PlanCache cache_;
   AdmissionController admission_;
   BatchDispatcher dispatcher_;
+  partition::RemoteAllPartitioner all_remote_;
+  const dataplane::BackpressureSource* backpressure_ = nullptr;
+  /// Buckets with an exact solve in flight (stage-2 dedup): a burst of
+  /// same-bucket misses triggers one solver run, not a storm. std::set
+  /// for deterministic iteration (lint R2).
+  std::set<PlanKey> resolving_;
   BrokerStats stats_;
+  TwoStageStats twostage_;
   obs::TraceSink* trace_ = nullptr;
   Instruments m_;
 };

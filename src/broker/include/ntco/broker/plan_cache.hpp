@@ -26,8 +26,9 @@
 /// Hysteresis is what keeps a user oscillating around a bucket boundary
 /// from replanning on every request: a lookup that misses its exact bucket
 /// still reuses an adjacent bucket's plan while the *raw* drift from that
-/// plan's planning context stays within `hysteresis` (relative bandwidth /
-/// RTT drift, absolute battery drift). Only genuine regime changes replan.
+/// plan's planning context stays within the drift envelope (relative
+/// bandwidth / RTT drift within `hysteresis`, absolute battery drift
+/// within `battery_hysteresis`). Only genuine regime changes replan.
 ///
 /// Determinism: entries live in a std::map (sorted key order), LRU state is
 /// a monotonic use tick, and all inputs are simulated quantities — cache
@@ -60,10 +61,19 @@ struct PlanKey {
 struct PlanCacheConfig {
   std::size_t capacity = 256;          ///< entries; LRU eviction beyond
   Duration ttl = Duration::hours(1);   ///< staleness bound at simulated time
-  /// Relative drift (bandwidth, RTT) and absolute drift (battery) tolerated
-  /// before a neighbouring-bucket plan stops being reusable.
+  /// Relative bandwidth / RTT drift tolerated before a neighbouring-bucket
+  /// plan stops being reusable.
   double hysteresis = 0.25;
+  /// Absolute battery drift (state-of-charge points, battery is in [0, 1])
+  /// tolerated before a neighbouring-bucket plan stops being reusable.
+  /// Deliberately a separate knob from `hysteresis`: a 5% bandwidth drift
+  /// and a 5-percentage-point battery drift are different physical
+  /// quantities, and a single knob silently conflated them.
+  double battery_hysteresis = 0.25;
   int battery_buckets = 4;
+  /// Price-window width. Contract: must divide 24 evenly, otherwise the
+  /// final window of the day would be ragged (e.g. 5 h windows leave
+  /// window 4 spanning only 4 h) and skew hit rates across midnight.
   int hours_per_window = 6;
 };
 

@@ -50,6 +50,25 @@ AdmissionDecision AdmissionController::decide(TimePoint now,
                                               TimePoint deadline,
                                               Duration est) {
   refill(now);
+
+  // Infeasible on arrival: even an immediate admission cannot finish by the
+  // deadline, so dispatching would only burn a token on work guaranteed to
+  // miss. Shed up front — before the token check — and leave the token for
+  // a request that can still make it. This is the one shed that outranks
+  // QueueFull: the deadline genuinely is the client's problem here, whereas
+  // the QueueFull-first rule below exists to avoid blaming *wait-induced*
+  // misses on the client.
+  if (now + est > deadline) {
+    ++stats_.shed;
+    if (m_.shed) m_.shed->add();
+    if (trace_)
+      obs::emit(trace_, now, "broker.admission_shed",
+                {{"reason", "deadline_too_tight"},
+                 {"deadline", deadline},
+                 {"est", est}});
+    return {AdmissionVerdict::Shed, ShedReason::DeadlineTooTight, now};
+  }
+
   if (tokens_ >= 1.0) {
     tokens_ -= 1.0;
     ++stats_.admitted;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ntco/common/contracts.hpp"
+#include "ntco/net/transport.hpp"
 #include "ntco/partition/cost_model.hpp"
 
 namespace ntco::broker {
@@ -19,7 +20,11 @@ Broker::Broker(sim::Simulator& sim, serverless::Platform& platform,
       scheduler_(platform, cfg_.defer),
       cache_(cfg_.cache),
       admission_(cfg_.admission),
-      dispatcher_(sim, cfg_.batch) {}
+      dispatcher_(sim, cfg_.batch) {
+  // The cache is both the stage-1 lookup and the stage-2 publication
+  // point; a two-stage broker without it would resolve into the void.
+  NTCO_EXPECTS(!cfg_.two_stage_enabled || cfg_.cache_enabled);
+}
 
 void Broker::attach_observer(obs::TraceSink* trace,
                              obs::MetricsRegistry* metrics) {
@@ -29,6 +34,9 @@ void Broker::attach_observer(obs::TraceSink* trace,
     m_.requests = &metrics->counter("broker.requests");
     m_.completed = &metrics->counter("broker.completed");
     m_.failed = &metrics->counter("broker.failed");
+    m_.fast_serves = &metrics->counter("broker.twostage.fast_serves");
+    m_.resolves = &metrics->counter("broker.twostage.resolves");
+    m_.agreements = &metrics->counter("broker.twostage.agreements");
     m_.decision_us = &metrics->summary("broker.decision_us");
     m_.job_cost_usd = &metrics->summary("broker.job_cost_usd");
     m_.completion_s = &metrics->summary("broker.completion_s");
@@ -38,12 +46,23 @@ void Broker::attach_observer(obs::TraceSink* trace,
   dispatcher_.attach_observer(trace, metrics);
 }
 
-Duration Broker::admission_estimate(const app::TaskGraph& g) const {
+Duration Broker::admission_estimate(const app::TaskGraph& g,
+                                    double bandwidth_scale) const {
   // Coarse on purpose: admission runs *before* planning, so all it can
-  // afford is "all the work, remotely, at the reference memory".
+  // afford is "all the work, remotely, at the reference memory" plus "all
+  // boundary state across the radio once". The wireless leg reads the
+  // transport's *nominal* spec — the stateful timing methods commit
+  // transfers (consume jitter randomness, occupy shared capacity), which
+  // an estimate must never do.
   const DataSize ref =
       platform_.quantize_memory(controller_.config().reference_memory);
-  return platform_.exec_time(ref, g.total_work());
+  const Duration service = platform_.exec_time(ref, g.total_work());
+  const net::PathSpec& spec = controller_.transport().spec();
+  Duration transfer = spec.up.latency + spec.down.latency;
+  const DataRate scaled = spec.up.rate * bandwidth_scale;
+  if (scaled > DataRate::bits_per_second(0))
+    transfer = transfer + g.total_flow_bytes() / scaled;
+  return transfer + service;
 }
 
 void Broker::serve(ServeRequest req,
@@ -66,8 +85,8 @@ void Broker::attempt(ServeRequest req, TimePoint released,
   if (is_retry) admission_.retry_resolved();
   const TimePoint now = sim_.now();
   const TimePoint deadline = released + req.slack;
-  const AdmissionDecision d =
-      admission_.decide(now, deadline, admission_estimate(*req.app));
+  const AdmissionDecision d = admission_.decide(
+      now, deadline, admission_estimate(*req.app, req.bandwidth_scale));
 
   switch (d.verdict) {
     case AdmissionVerdict::Admitted:
@@ -123,11 +142,28 @@ void Broker::decide_and_dispatch(ServeRequest req, TimePoint released,
   // the execution path owns an immutable copy.
   std::shared_ptr<const core::DeploymentPlan> plan;
   bool hit = false;
+  bool heuristic = false;
   if (cfg_.cache_enabled) {
     if (const core::DeploymentPlan* found = cache_.lookup(ctx, now)) {
       plan = std::make_shared<const core::DeploymentPlan>(*found);  // ntco-lint: allow(R6) plan snapshot must outlive async dispatch; the cache row it copies is mutation-invalidated
       hit = true;
     }
+  }
+  if (plan == nullptr && cfg_.two_stage_enabled) {
+    // Stage 1: answer the miss *now* with the cheap heuristic placement
+    // and let the exact solver catch up in the background. The heuristic
+    // plan is deliberately not cached — the cache only ever publishes
+    // exact plans, so a bucket's quality ratchets up, never down.
+    core::DeploymentPlan fast =
+        controller_.prepare(g, stage1_partitioner(), env);
+    heuristic = true;
+    ++twostage_.fast_serves;
+    if (m_.fast_serves) m_.fast_serves->add();
+    if (trace_)
+      obs::emit(trace_, now, "broker.twostage.fast_serve",
+                {{"workload", std::string_view(g.name())}});
+    schedule_exact_resolve(ctx, g, env, fast.partition);
+    plan = std::make_shared<const core::DeploymentPlan>(std::move(fast));  // ntco-lint: allow(R6) plan snapshot must outlive async dispatch
   }
   if (plan == nullptr) {
     core::DeploymentPlan fresh = controller_.prepare(g, partitioner_, env);
@@ -137,6 +173,8 @@ void Broker::decide_and_dispatch(ServeRequest req, TimePoint released,
 
   const Duration decision =
       hit ? cfg_.hit_cost
+      : heuristic
+          ? cfg_.heuristic_cost
           : cfg_.plan_cost_base +
                 cfg_.plan_cost_per_component *
                     static_cast<double>(g.component_count());
@@ -147,7 +185,8 @@ void Broker::decide_and_dispatch(ServeRequest req, TimePoint released,
   // ntco-lint: allow(R9) dispatch continuation carries the plan handle and completion callback; deliberate heap fallback
   sim_.schedule_after(decision, [this, req = std::move(req), released,
                                  deferrals, plan = std::move(plan), hit,
-                                 decision, done = std::move(done)]() mutable {
+                                 heuristic, decision,
+                                 done = std::move(done)]() mutable {
     const app::TaskGraph& truth = *req.app;
     const TimePoint resumed = sim_.now();
     const TimePoint deadline = released + req.slack;
@@ -158,18 +197,20 @@ void Broker::decide_and_dispatch(ServeRequest req, TimePoint released,
     const TimePoint start = scheduler_.plan_start(resumed, job, est);
 
     BatchDispatcher::Job run =
-        [this, plan, truth_ptr = req.app, released, hit, decision, deferrals,
+        [this, plan, truth_ptr = req.app, released, hit, heuristic, decision,
+         deferrals,
          // ntco-lint: allow(R6) batch completion hook: bound once per dispatched job
          done = std::move(done)](std::function<void()> batch_done) mutable {
           controller_.execute_async(
               *plan, *truth_ptr,
-              [this, plan, released, hit, decision, deferrals,
+              [this, plan, released, hit, heuristic, decision, deferrals,
                done = std::move(done), batch_done = std::move(batch_done)](
                   const core::ExecutionReport& r) mutable {
                 ServeOutcome out;
                 out.status = r.failed ? ServeStatus::Failed
                                       : ServeStatus::Completed;
                 out.cache_hit = hit;
+                out.heuristic_serve = heuristic;
                 out.decision_latency = decision;
                 out.released = released;
                 out.finished = sim_.now();
@@ -206,6 +247,45 @@ void Broker::decide_and_dispatch(ServeRequest req, TimePoint released,
       sim_.schedule_at(std::max(start, resumed),
                        [run = std::move(run)]() mutable { run([] {}); });
     }
+  });
+}
+
+void Broker::schedule_exact_resolve(const DecisionContext& ctx,
+                                    const app::TaskGraph& g,
+                                    partition::Environment env,
+                                    partition::Partition heuristic) {
+  // One exact solve in flight per bucket: a burst of same-bucket misses
+  // (the vehicular regime) triggers one solver run, not a storm.
+  PlanKey key = quantize(ctx, cfg_.cache);
+  if (!resolving_.insert(key).second) return;  // ntco-lint: allow(R6) stage-2 dedup set: one node per distinct in-flight bucket, off the fast answer path
+
+  // Measured ring pressure stretches the resolve: saturated rings delay
+  // refinement (stage 2), never the fast answer (stage 1).
+  const double pressure =
+      backpressure_ == nullptr
+          ? 0.0
+          : std::clamp(backpressure_->pressure(), 0.0, 1.0);
+  const Duration solve =
+      cfg_.plan_cost_base +
+      cfg_.plan_cost_per_component * static_cast<double>(g.component_count());
+  const Duration latency = solve * (1.0 + pressure);
+
+  sim_.schedule_after(latency, [this, key = std::move(key), ctx, g = &g,
+                                env = std::move(env),
+                                heuristic = std::move(heuristic)]() mutable {
+    resolving_.erase(key);
+    const TimePoint now = sim_.now();
+    core::DeploymentPlan exact = controller_.prepare(*g, partitioner_, env);
+    const bool agreed = exact.partition == heuristic;
+    ++twostage_.resolves;
+    if (agreed) ++twostage_.agreements;
+    if (m_.resolves) m_.resolves->add();
+    if (agreed && m_.agreements) m_.agreements->add();
+    if (trace_)
+      obs::emit(trace_, now, "broker.twostage.resolve",
+                {{"workload", std::string_view(ctx.workload)},
+                 {"agreed", agreed}});
+    cache_.insert(ctx, std::move(exact), now);  // ntco-lint: allow(R6) stage-2 publication: one cache write per resolved bucket, off the serving path
   });
 }
 

@@ -21,6 +21,10 @@ int log2_bucket(double v) {
 PlanKey quantize(const DecisionContext& ctx, const PlanCacheConfig& cfg) {
   NTCO_EXPECTS(cfg.battery_buckets > 0);
   NTCO_EXPECTS(cfg.hours_per_window > 0);
+  // A width that does not divide 24 would leave a ragged final window
+  // (5 h windows -> window 4 spans only 4 h) whose thinner population
+  // skews hit rates across midnight; reject it outright.
+  NTCO_EXPECTS(24 % cfg.hours_per_window == 0);
   PlanKey key;
   key.workload = ctx.workload;
   key.bw_bucket = log2_bucket(ctx.uplink.to_mbps());
@@ -36,7 +40,9 @@ PlanCache::PlanCache(PlanCacheConfig cfg) : cfg_(cfg) {
   NTCO_EXPECTS(cfg_.capacity > 0);
   NTCO_EXPECTS(cfg_.battery_buckets > 0);
   NTCO_EXPECTS(cfg_.hours_per_window > 0);
+  NTCO_EXPECTS(24 % cfg_.hours_per_window == 0);
   NTCO_EXPECTS(cfg_.hysteresis >= 0.0);
+  NTCO_EXPECTS(cfg_.battery_hysteresis >= 0.0);
 }
 
 void PlanCache::attach_observer(obs::TraceSink* trace,
@@ -62,11 +68,15 @@ bool PlanCache::within_hysteresis(const DecisionContext& ctx,
     const double base = std::max(std::abs(b), 1e-9);
     return std::abs(a - b) / base;
   };
+  // Bandwidth and RTT drift are judged *relatively* against `hysteresis`;
+  // battery is an absolute state-of-charge delta with its own knob —
+  // conflating them under one threshold silently mixed "5% slower link"
+  // with "5 percentage points less charge".
   return rel(ctx.uplink.to_mbps(), planned.uplink.to_mbps()) <=
              cfg_.hysteresis &&
          rel(ctx.rtt.to_millis(), planned.rtt.to_millis()) <=
              cfg_.hysteresis &&
-         std::abs(ctx.battery - planned.battery) <= cfg_.hysteresis;
+         std::abs(ctx.battery - planned.battery) <= cfg_.battery_hysteresis;
 }
 
 const core::DeploymentPlan* PlanCache::lookup(const DecisionContext& ctx,

@@ -187,6 +187,12 @@ class OffloadController {
 
   [[nodiscard]] const ControllerConfig& config() const { return cfg_; }
 
+  /// The transport every boundary transfer of this controller rides.
+  /// Exposed for upstream layers (the broker's deadline-joint admission)
+  /// that need the *nominal* link figures via spec(); the stateful timing
+  /// methods commit transfers and must not be called for estimates.
+  [[nodiscard]] const net::Transport& transport() const { return path_; }
+
   /// Attaches observability. `trace` receives the "ctl.*" spans (run
   /// begin/end, transfer attempts and retries, local fallbacks); `metrics`
   /// hosts the "core.*" instruments. Either may be null. Stable names are

@@ -1767,7 +1767,7 @@ Config default_config(std::string root) {
       {"dataplane", {"sim", "common", "obs"}},
       {"fleet", {"common", "dataplane"}},
       {"device", {"common"}},
-      {"app", {"common"}},
+      {"app", {"common", "obs"}},
       {"lint", {}},
       {"obs", {"stats"}},
       {"sim", {"obs"}},
@@ -1780,7 +1780,7 @@ Config default_config(std::string root) {
       {"sched", {"serverless", "net", "device", "stats"}},
       {"alloc", {"serverless"}},
       {"core", {"alloc", "partition", "net", "app", "device"}},
-      {"broker", {"core", "sched", "obs", "dataplane"}},
+      {"broker", {"core", "sched", "obs", "dataplane", "net"}},
       {"continuum",
        {"serverless", "edgesim", "net", "fabric", "sim", "core", "obs",
         "common"}},

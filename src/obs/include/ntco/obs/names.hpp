@@ -62,12 +62,19 @@ NTCO_OBS_NAME(kSchedJobComplete, trace, "sched.job.complete", "`job`, `latency`,
 NTCO_OBS_NAME(kNetLinkState, trace, "net.link.state", "`link`, `state` (`good`/`bad`)")
 NTCO_OBS_NAME(kNetLinkLoss, trace, "net.link.loss", "`link`, `bytes`, `timeout`")
 
+// --- open-loop arrival processes --------------------------------------------
+NTCO_OBS_NAME(kAppArrivalJob, trace, "app.arrival.job", "`seq`, `hour`")
+NTCO_OBS_NAME(kAppArrivalVehicleEnter, trace, "app.arrival.vehicle_enter", "`vehicle`, `residence` (µs)")
+NTCO_OBS_NAME(kAppArrivalVehicleExit, trace, "app.arrival.vehicle_exit", "`vehicle`, `requests`")
+
 // --- broker serving layer -------------------------------------------------
 NTCO_OBS_NAME(kBrokerPlanCacheHit, trace, "broker.plan_cache_hit", "`workload`, `hysteresis`")
 NTCO_OBS_NAME(kBrokerPlanCacheMiss, trace, "broker.plan_cache_miss", "`workload`")
 NTCO_OBS_NAME(kBrokerAdmissionDefer, trace, "broker.admission_defer", "`retry_at`, `deadline`")
 NTCO_OBS_NAME(kBrokerAdmissionShed, trace, "broker.admission_shed", "`reason`, `deadline`, `est`")
 NTCO_OBS_NAME(kBrokerBatchFlush, trace, "broker.batch_flush", "`group`, `jobs`, `sealed`")
+NTCO_OBS_NAME(kBrokerTwostageFastServe, trace, "broker.twostage.fast_serve", "`workload`")
+NTCO_OBS_NAME(kBrokerTwostageResolve, trace, "broker.twostage.resolve", "`workload`, `agreed`")
 
 // --- shared network fabric ------------------------------------------------
 NTCO_OBS_NAME(kFabricFlowStart, trace, "fabric.flow.start", "`flow`, `path`, `dir` (`up`/`down`), `bytes`, `segments`, `share_bps`, `dur`")
@@ -120,6 +127,10 @@ NTCO_OBS_NAME(kBrokerCacheExpiries, counter, "broker.cache.expiries", "TTL expir
 NTCO_OBS_NAME(kBrokerAdmissionAdmitted, counter, "broker.admission.admitted", "requests admitted by the token bucket")
 NTCO_OBS_NAME(kBrokerAdmissionDeferrals, counter, "broker.admission.deferrals", "requests deferred with a retry quote")
 NTCO_OBS_NAME(kBrokerAdmissionShed, counter, "broker.admission.shed", "requests shed")
+NTCO_OBS_NAME(kAppArrivalJobs, counter, "app.arrival.jobs", "arrivals generated by the open-loop sources")
+NTCO_OBS_NAME(kBrokerTwostageFastServes, counter, "broker.twostage.fast_serves", "misses served by the stage-1 heuristic plan")
+NTCO_OBS_NAME(kBrokerTwostageResolves, counter, "broker.twostage.resolves", "asynchronous exact solves completed")
+NTCO_OBS_NAME(kBrokerTwostageAgreements, counter, "broker.twostage.agreements", "exact solves that confirmed the heuristic placement")
 NTCO_OBS_NAME(kBrokerBatchBatches, counter, "broker.batch.batches", "batches flushed")
 NTCO_OBS_NAME(kBrokerBatchJobs, counter, "broker.batch.jobs", "jobs dispatched through batches")
 NTCO_OBS_NAME(kBrokerBatchSealed, counter, "broker.batch.sealed", "batches sealed at capacity")

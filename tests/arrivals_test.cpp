@@ -1,0 +1,241 @@
+#include "ntco/app/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ntco/common/contracts.hpp"
+#include "ntco/common/rng.hpp"
+#include "ntco/fleet/replicator.hpp"
+#include "ntco/obs/metrics.hpp"
+#include "ntco/obs/trace.hpp"
+
+// Suite names: "Arrival*" for the process models, "ArrivalFleet" for the
+// cross-thread determinism suite (picked up by the ci.sh TSan rerun).
+
+namespace ntco::app {
+namespace {
+
+int hour_of(TimePoint t) {
+  return static_cast<int>(
+      (t.since_origin().count_micros() / 3'600'000'000LL) % 24);
+}
+
+// ----------------------------------------------------------------- Poisson
+
+TEST(ArrivalPoisson, SortedWithinHorizonAtRoughlyTheRate) {
+  Rng rng(7);
+  const TimePoint t0 = TimePoint::at(Duration::hours(3));
+  const Duration horizon = Duration::seconds(1000);
+  const auto at = poisson_arrivals(t0, horizon, 10.0, rng);
+
+  // Mean 10'000, sd 100: +-5 sd is a 1-in-a-million flake bound.
+  EXPECT_GT(at.size(), 9500u);
+  EXPECT_LT(at.size(), 10500u);
+  for (std::size_t i = 0; i < at.size(); ++i) {
+    EXPECT_GE(at[i], t0);
+    EXPECT_LT(at[i], t0 + horizon);
+    if (i > 0) {
+      EXPECT_GE(at[i], at[i - 1]);
+    }
+  }
+}
+
+TEST(ArrivalPoisson, ContractChecks) {
+  Rng rng(7);
+  const TimePoint t0 = TimePoint::origin();
+  EXPECT_THROW((void)poisson_arrivals(t0, Duration::seconds(1), 0.0, rng),
+               ContractViolation);
+  EXPECT_THROW(
+      (void)poisson_arrivals(t0, Duration::seconds(-1), 1.0, rng),
+      ContractViolation);
+}
+
+TEST(ArrivalPoisson, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  const TimePoint t0 = TimePoint::origin();
+  EXPECT_EQ(poisson_arrivals(t0, Duration::seconds(100), 5.0, a),
+            poisson_arrivals(t0, Duration::seconds(100), 5.0, b));
+}
+
+// ------------------------------------------------------------------- MMPP
+
+TEST(ArrivalDiurnal, ProfileNormalisation) {
+  const auto flat = DiurnalProfile::flat();
+  EXPECT_DOUBLE_EQ(flat.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(flat.max(), 1.0);
+  const auto res = DiurnalProfile::residential_evening();
+  EXPECT_GT(res.mean(), 0.0);
+  // The evening peak dominates every other hour.
+  EXPECT_DOUBLE_EQ(res.max(), res.weight[21]);
+}
+
+TEST(ArrivalMmpp, FlatProfileMatchesPoissonRate) {
+  MmppConfig cfg;
+  cfg.mean_rate_per_second = 0.5;
+  cfg.profile = DiurnalProfile::flat();
+  cfg.burst_multiplier = 1.0;
+  Rng rng(11);
+  const auto at =
+      mmpp_arrivals(cfg, TimePoint::origin(), Duration::hours(24), rng);
+  // Mean 43'200, sd ~208: +-5 sd.
+  EXPECT_GT(at.size(), 42160u);
+  EXPECT_LT(at.size(), 44240u);
+}
+
+TEST(ArrivalMmpp, EnvelopeShiftsMassIntoTheEveningPeak) {
+  MmppConfig cfg;
+  cfg.mean_rate_per_second = 0.5;
+  cfg.burst_multiplier = 1.0;  // pure envelope, no burst chain
+  Rng rng(13);
+  const auto at =
+      mmpp_arrivals(cfg, TimePoint::origin(), Duration::hours(24), rng);
+
+  std::array<std::uint64_t, 24> per_hour{};
+  for (const TimePoint t : at)
+    ++per_hour[static_cast<std::size_t>(hour_of(t))];
+  // weight(21:00) / weight(03:00) = 2.30 / 0.16; even half that ratio
+  // can't happen by chance at these counts.
+  EXPECT_GT(static_cast<double>(per_hour[21]),
+            5.0 * static_cast<double>(per_hour[3]));
+  // Arrivals stay sorted across hour boundaries.
+  for (std::size_t i = 1; i < at.size(); ++i) EXPECT_GE(at[i], at[i - 1]);
+}
+
+TEST(ArrivalMmpp, BurstChainRaisesTheRealisedMean) {
+  MmppConfig calm;
+  calm.mean_rate_per_second = 0.5;
+  calm.profile = DiurnalProfile::flat();
+  calm.burst_multiplier = 1.0;
+  MmppConfig bursty = calm;
+  bursty.burst_multiplier = 3.0;  // ~8.3% of time in 3x bursts => +17% mean
+
+  Rng a(17);
+  Rng b(17);
+  const auto base =
+      mmpp_arrivals(calm, TimePoint::origin(), Duration::hours(24), a);
+  const auto burst =
+      mmpp_arrivals(bursty, TimePoint::origin(), Duration::hours(24), b);
+  EXPECT_GT(static_cast<double>(burst.size()),
+            1.05 * static_cast<double>(base.size()));
+}
+
+TEST(ArrivalMmpp, ContractChecks) {
+  Rng rng(1);
+  MmppConfig cfg;
+  cfg.burst_multiplier = 0.5;  // < 1 is not a burst
+  EXPECT_THROW(
+      (void)mmpp_arrivals(cfg, TimePoint::origin(), Duration::hours(1), rng),
+      ContractViolation);
+  MmppConfig zero;
+  zero.profile.weight.fill(0.0);
+  EXPECT_THROW(
+      (void)mmpp_arrivals(zero, TimePoint::origin(), Duration::hours(1), rng),
+      ContractViolation);
+}
+
+// -------------------------------------------------------------- Vehicular
+
+TEST(ArrivalVehicular, SessionAndRequestInvariants) {
+  VehicularConfig cfg;  // defaults: 0.5 veh/s, 45 s mean residence
+  Rng rng(23);
+  const TimePoint t0 = TimePoint::at(Duration::hours(8));
+  const Duration horizon = Duration::minutes(30);
+  const auto sessions = vehicular_sessions(cfg, t0, horizon, rng);
+
+  ASSERT_FALSE(sessions.empty());
+  std::uint64_t prev_vehicle = 0;
+  TimePoint prev_enter = t0;
+  for (const VehicleSession& s : sessions) {
+    if (&s != &sessions.front()) {
+      EXPECT_GT(s.vehicle, prev_vehicle);
+      EXPECT_GE(s.enter, prev_enter);
+    }
+    prev_vehicle = s.vehicle;
+    prev_enter = s.enter;
+    EXPECT_GE(s.enter, t0);
+    EXPECT_LT(s.enter, t0 + horizon);
+    EXPECT_GE(s.residence, cfg.min_residence);
+    EXPECT_EQ(s.exit(), s.enter + s.residence);
+    TimePoint prev_at = s.enter;
+    for (const VehicleRequest& r : s.requests) {
+      EXPECT_GE(r.at, prev_at);
+      prev_at = r.at;
+      EXPECT_GT(r.at, s.enter);
+      EXPECT_LT(r.at, s.exit());
+      // The hard deadline is exactly the remaining link residence.
+      EXPECT_EQ(r.at + r.residence_left, s.exit());
+      EXPECT_GT(r.bw_scale, 0.0);
+      EXPECT_GE(r.battery, cfg.battery_min);
+      EXPECT_LE(r.battery, 1.0);
+    }
+  }
+}
+
+TEST(ArrivalVehicular, ObserverCountsEveryOfferedJob) {
+  VehicularConfig cfg;
+  obs::MetricsRegistry metrics;
+  obs::JsonlTraceWriter trace;
+  ArrivalObserver watch{&trace, &metrics};
+  Rng rng(29);
+  const auto sessions = vehicular_sessions(cfg, TimePoint::origin(),
+                                           Duration::minutes(10), rng, watch);
+
+  std::uint64_t offered = 0;
+  for (const VehicleSession& s : sessions) offered += s.requests.size();
+  EXPECT_EQ(metrics.counter("app.arrival.jobs").value(), offered);
+  EXPECT_FALSE(trace.str().empty());
+}
+
+// ------------------------------------------------------------ Determinism
+
+/// Arrivals generated per shard from Rng substreams must merge to the same
+/// bytes at any worker count — they are the demand side of every open-loop
+/// fleet experiment (F15/F16).
+struct FleetOut {
+  std::uint64_t jobs = 0;
+  obs::MetricsRegistry metrics;
+  obs::JsonlTraceWriter trace;
+};
+
+FleetOut run_fleet(std::size_t threads) {
+  fleet::Replicator rep(83, threads);
+  return rep.reduce(
+      8, FleetOut{},
+      [](fleet::ShardContext& ctx) {
+        FleetOut out;
+        ArrivalObserver watch{&out.trace, &out.metrics};
+        MmppConfig mm;
+        mm.mean_rate_per_second = 0.05;
+        mm.burst_multiplier = 2.0;
+        out.jobs += mmpp_arrivals(mm, TimePoint::origin(), Duration::hours(6),
+                                  ctx.rng, watch)
+                        .size();
+        VehicularConfig vc;
+        out.jobs += vehicular_sessions(vc, TimePoint::at(Duration::hours(6)),
+                                       Duration::minutes(5), ctx.rng, watch)
+                        .size();
+        return out;
+      },
+      [](FleetOut& acc, FleetOut&& shard, std::size_t) {
+        acc.jobs += shard.jobs;
+        acc.metrics.merge_from(shard.metrics);
+        acc.trace.append_from(shard.trace);
+      });
+}
+
+TEST(ArrivalFleet, ByteIdenticalAcrossThreads) {
+  const FleetOut one = run_fleet(1);
+  const FleetOut eight = run_fleet(8);
+  EXPECT_GT(one.jobs, 0u);
+  EXPECT_EQ(one.jobs, eight.jobs);
+  EXPECT_FALSE(one.trace.str().empty());
+  EXPECT_EQ(one.metrics.to_csv(), eight.metrics.to_csv());
+  EXPECT_EQ(one.trace.str(), eight.trace.str());
+}
+
+}  // namespace
+}  // namespace ntco::app

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "ntco/app/workloads.hpp"
+#include "ntco/common/contracts.hpp"
+#include "ntco/common/rng.hpp"
 #include "ntco/fleet/replicator.hpp"
 #include "ntco/net/path.hpp"
 
@@ -119,6 +121,70 @@ TEST(BrokerPlanCache, QuantizeClampsAndWindows) {
   const PlanKey k2 = quantize(ctx, cfg);
   EXPECT_EQ(k2.battery_bucket, 0);
   EXPECT_EQ(k2.window, 0);
+}
+
+TEST(BrokerPlanCache, BatteryHysteresisIsItsOwnKnob) {
+  // Regression: within_hysteresis used to judge the *absolute* battery
+  // drift against the *relative* bw/rtt knob — at hysteresis=0.05 a 5%
+  // bandwidth drift and a 5-percentage-point charge drift were silently
+  // conflated. Battery must read battery_hysteresis, nothing else.
+  PlanCacheConfig tight_links;
+  tight_links.hysteresis = 0.05;          // links barely tolerate drift...
+  tight_links.battery_hysteresis = 0.25;  // ...but charge has a wide band
+  PlanCache cache(tight_links);
+  const TimePoint t0 = TimePoint::origin();
+  // Planned at battery 0.50 (bucket 2 of 4); identical link context.
+  cache.insert(ctx_with("app", 80.0, /*battery=*/0.50),
+               plan_with(Duration::seconds(1)), t0);
+
+  // 0.30 quantizes to neighbouring bucket 1; the raw 0.20 charge drift is
+  // within battery_hysteresis. Pre-fix this read the 0.05 link knob and
+  // replanned.
+  EXPECT_NE(cache.lookup(ctx_with("app", 80.0, /*battery=*/0.30), t0),
+            nullptr);
+  EXPECT_EQ(cache.stats().hysteresis_hits, 1u);
+
+  // The converse conflation: a *loose* link knob must not excuse a charge
+  // drift past the battery band.
+  PlanCacheConfig tight_battery;
+  tight_battery.hysteresis = 0.50;
+  tight_battery.battery_hysteresis = 0.10;
+  PlanCache cache2(tight_battery);
+  cache2.insert(ctx_with("app", 80.0, /*battery=*/0.50),
+                plan_with(Duration::seconds(1)), t0);
+  EXPECT_EQ(cache2.lookup(ctx_with("app", 80.0, /*battery=*/0.30), t0),
+            nullptr);
+  EXPECT_EQ(cache2.stats().misses, 1u);
+
+  // Boundary: a drift of exactly battery_hysteresis still reuses.
+  PlanCacheConfig at_edge;
+  at_edge.battery_hysteresis = 0.20;
+  PlanCache cache3(at_edge);
+  cache3.insert(ctx_with("app", 80.0, /*battery=*/0.50),
+                plan_with(Duration::seconds(1)), t0);
+  EXPECT_NE(cache3.lookup(ctx_with("app", 80.0, /*battery=*/0.30), t0),
+            nullptr);
+}
+
+TEST(BrokerPlanCache, WindowWidthMustDivideTheDay) {
+  // Regression: hours_per_window=5 used to quantize into a ragged final
+  // window (window 4 spanning only 20:00-23:59) that skewed hit rates
+  // across midnight; the config is now rejected by contract.
+  PlanCacheConfig bad;
+  bad.hours_per_window = 5;
+  EXPECT_THROW(PlanCache{bad}, ContractViolation);
+  EXPECT_THROW((void)quantize(ctx_with("app", 80.0), bad),
+               ContractViolation);
+
+  // Every divisor of 24 stays valid, and the window count is exact.
+  for (const int hpw : {1, 2, 3, 4, 6, 8, 12, 24}) {
+    PlanCacheConfig good;
+    good.hours_per_window = hpw;
+    PlanCache ok(good);
+    auto ctx = ctx_with("app", 80.0);
+    ctx.hour = 23;
+    EXPECT_EQ(quantize(ctx, good).window, 23 / hpw);
+  }
 }
 
 // --------------------------------------------------------------- Admission
@@ -300,6 +366,130 @@ TEST(BrokerAdmission, QueueBoundaryFreesExactlyOneSlotOnRetryResolved) {
   EXPECT_EQ(adm.stats().shed, 2u);
 }
 
+TEST(BrokerAdmission, ShedsInfeasibleRequestEvenWithTokenAvailable) {
+  // Regression: the est-vs-deadline feasibility check used to run only on
+  // the no-token path, so a request with now + est > deadline — already
+  // guaranteed to miss — burned a token and dispatched anyway whenever one
+  // was available.
+  AdmissionConfig cfg;
+  cfg.rate_per_second = 1.0;
+  cfg.burst = 1.0;
+  AdmissionController adm(cfg);
+  const TimePoint t0 = TimePoint::origin();
+
+  // Bucket is full, yet the job cannot make its deadline even if admitted
+  // this instant: shed up front, loudly.
+  const auto d =
+      adm.decide(t0, t0 + Duration::seconds(10), Duration::seconds(20));
+  EXPECT_EQ(d.verdict, AdmissionVerdict::Shed);
+  EXPECT_EQ(d.reason, ShedReason::DeadlineTooTight);
+  EXPECT_EQ(adm.stats().shed, 1u);
+
+  // The infeasible request must not have consumed the token: a feasible
+  // one right behind it (burst=1) is still admitted.
+  EXPECT_EQ(adm.decide(t0, t0 + Duration::hours(1), Duration::seconds(1))
+                .verdict,
+            AdmissionVerdict::Admitted);
+}
+
+/// Fixed-pressure stub: deterministic, so fleet- and artifact-safe.
+struct StubPressure final : dataplane::BackpressureSource {
+  double p = 0.0;
+  [[nodiscard]] double pressure() const override { return p; }
+};
+
+TEST(BrokerAdmission, OpenLoopRandomizedInvariants) {
+  // An open-loop arrival stream (nobody waits for permission to arrive)
+  // hammers three controllers; the invariants must hold at every step:
+  //   1. deferred_outstanding tracks defers minus resolved retries exactly
+  //      (never underflows, never leaks);
+  //   2. quoted retry waits are monotone in ring backpressure — the same
+  //      request sequence quotes later retries under pressure 0.8 than
+  //      under 0.0;
+  //   3. shed-reason precedence: an infeasible-on-arrival request sheds
+  //      DeadlineTooTight regardless of queue state; a wait-induced shed
+  //      with a full queue reports QueueFull, never the client's deadline.
+  AdmissionConfig cfg;
+  cfg.rate_per_second = 2.0;
+  cfg.burst = 4.0;
+  cfg.max_deferred = 4096;  // never binds for the quote-comparison pair
+  cfg.min_defer = Duration::seconds(1);
+  AdmissionController calm(cfg);
+  AdmissionController loaded(cfg);
+  StubPressure none;
+  StubPressure heavy;
+  heavy.p = 0.8;
+  calm.set_backpressure_source(&none);
+  loaded.set_backpressure_source(&heavy);
+
+  AdmissionConfig small = cfg;
+  small.max_deferred = 4;  // the precedence controller's queue binds often
+  AdmissionController tight(small);
+
+  Rng rng(31);
+  TimePoint now = TimePoint::origin();
+  std::uint64_t calm_out = 0;
+  std::uint64_t loaded_out = 0;
+  std::uint64_t tight_out = 0;
+  for (int i = 0; i < 5000; ++i) {
+    now = now + Duration::from_seconds(rng.exponential(0.25));
+    // One shared draw per step keeps all controllers on identical inputs.
+    // Draining at least as fast as the ~0.5/step deferral influx keeps the
+    // backlog small, so the pressure-shrunk queue bound of the `loaded`
+    // controller never binds and the comparison pair stays in lockstep.
+    const std::uint64_t resolve_n =
+        static_cast<std::uint64_t>(rng.uniform_int(0, 2));
+    const Duration est = Duration::from_seconds(rng.uniform(0.1, 5.0));
+    const auto drain = [&](AdmissionController& adm, std::uint64_t& mirror) {
+      for (std::uint64_t r = 0; r < resolve_n && mirror > 0; ++r) {
+        adm.retry_resolved();
+        --mirror;
+      }
+    };
+    drain(calm, calm_out);
+    drain(loaded, loaded_out);
+    drain(tight, tight_out);
+
+    // The comparison pair sees far deadlines only (no deadline sheds, so
+    // both controllers keep identical backlog state by construction).
+    const TimePoint far = now + Duration::hours(2);
+    const auto dc = calm.decide(now, far, est);
+    const auto dl = loaded.decide(now, far, est);
+    ASSERT_EQ(dc.verdict, dl.verdict);
+    if (dc.verdict == AdmissionVerdict::Deferred) {
+      ++calm_out;
+      ++loaded_out;
+      EXPECT_GE(dc.retry_at, now + cfg.min_defer);
+      // Invariant 2: pressure stretches, never shortens, the quote.
+      EXPECT_GE(dl.retry_at, dc.retry_at);
+    }
+    ASSERT_EQ(calm.stats().deferred_outstanding, calm_out);  // invariant 1
+    ASSERT_EQ(loaded.stats().deferred_outstanding, loaded_out);
+
+    // The precedence controller sees mixed (sometimes hopeless) deadlines.
+    const TimePoint deadline =
+        now + Duration::from_seconds(rng.uniform(0.5, 120.0));
+    const auto dt = tight.decide(now, deadline, est);
+    if (dt.verdict == AdmissionVerdict::Deferred) ++tight_out;
+    if (dt.verdict == AdmissionVerdict::Shed) {
+      if (now + est > deadline) {
+        // Infeasible on arrival: always the client's problem.
+        EXPECT_EQ(dt.reason, ShedReason::DeadlineTooTight);
+      } else if (tight_out >= small.max_deferred) {
+        // Wait-induced shed with a full queue: capacity, not the deadline.
+        EXPECT_EQ(dt.reason, ShedReason::QueueFull);
+      } else {
+        EXPECT_EQ(dt.reason, ShedReason::DeadlineTooTight);
+      }
+    }
+    ASSERT_EQ(tight.stats().deferred_outstanding, tight_out);
+  }
+  // The stream actually exercised all three paths.
+  EXPECT_GT(calm.stats().deferrals, 0u);
+  EXPECT_GT(tight.stats().shed, 0u);
+  EXPECT_GT(tight.stats().admitted, 0u);
+}
+
 // ------------------------------------------------------------------- Batch
 
 TEST(BrokerBatch, FlushesAtTheAlignedInstant) {
@@ -461,6 +651,109 @@ TEST(BrokerServe, ShedOutcomeIsDelivered) {
   EXPECT_EQ(outcomes[0].shed_reason, ShedReason::DeadlineTooTight);
   EXPECT_EQ(outcomes[1].status, ServeStatus::Completed);
   EXPECT_EQ(fx.broker.stats().shed, 1u);
+}
+
+// -------------------------------------------------------------- Two-stage
+
+BrokerConfig two_stage_cfg() {
+  BrokerConfig cfg;
+  cfg.two_stage_enabled = true;
+  cfg.batching_enabled = false;
+  cfg.defer.policy = sched::Policy::Immediate;
+  return cfg;
+}
+
+TEST(BrokerTwoStage, RequiresTheCache) {
+  // The cache is the stage-1 lookup and the stage-2 publication point; a
+  // two-stage broker without it would resolve into the void.
+  BrokerConfig cfg = two_stage_cfg();
+  cfg.cache_enabled = false;
+  EXPECT_THROW({ ServeFixture fx(cfg); }, ContractViolation);
+}
+
+TEST(BrokerTwoStage, MissServedByHeuristicThenExactPublishes) {
+  ServeFixture fx(two_stage_cfg());
+  const auto g = app::workloads::photo_backup();
+  std::vector<ServeOutcome> outcomes;
+  ServeRequest req;
+  req.app = &g;
+  fx.broker.serve(req, [&](const ServeOutcome& o) { outcomes.push_back(o); });
+  fx.sim.run();
+
+  // Stage 1: the miss was answered immediately by the heuristic at its
+  // (much cheaper) decision cost — no multi-ms plan on the serving path.
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, ServeStatus::Completed);
+  EXPECT_TRUE(outcomes[0].heuristic_serve);
+  EXPECT_FALSE(outcomes[0].cache_hit);
+  EXPECT_EQ(outcomes[0].decision_latency, fx.broker.config().heuristic_cost);
+  EXPECT_EQ(fx.broker.twostage().fast_serves, 1u);
+
+  // Stage 2 resolved in the background and published the *exact* plan.
+  EXPECT_EQ(fx.broker.twostage().resolves, 1u);
+  EXPECT_LE(fx.broker.twostage().agreements, fx.broker.twostage().resolves);
+  EXPECT_EQ(fx.broker.cache().size(), 1u);
+
+  // The next request in the bucket gets the published exact plan: a cache
+  // hit, not another heuristic serve.
+  fx.broker.serve(req, [&](const ServeOutcome& o) { outcomes.push_back(o); });
+  fx.sim.run();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[1].cache_hit);
+  EXPECT_FALSE(outcomes[1].heuristic_serve);
+  EXPECT_EQ(outcomes[1].decision_latency, fx.broker.config().hit_cost);
+  EXPECT_EQ(fx.broker.twostage().fast_serves, 1u);  // no second fast serve
+}
+
+TEST(BrokerTwoStage, SameBucketBurstResolvesOnce) {
+  ServeFixture fx(two_stage_cfg());
+  const auto g = app::workloads::photo_backup();
+  std::uint64_t served = 0;
+  ServeRequest req;
+  req.app = &g;
+  // A burst of identical-context misses lands before the exact solve can
+  // publish: every one is fast-served, but only ONE solver run is in
+  // flight for the bucket — a churn burst must not become a solver storm.
+  for (int i = 0; i < 3; ++i)
+    fx.broker.serve(req, [&](const ServeOutcome& o) {
+      if (o.status == ServeStatus::Completed && o.heuristic_serve) ++served;
+    });
+  fx.sim.run();
+
+  EXPECT_EQ(served, 3u);
+  EXPECT_EQ(fx.broker.twostage().fast_serves, 3u);
+  EXPECT_EQ(fx.broker.twostage().resolves, 1u);
+  EXPECT_EQ(fx.broker.cache().stats().misses, 3u);
+}
+
+TEST(BrokerTwoStage, BackpressureStretchesResolveLatency) {
+  // Saturated rings delay refinement (stage 2), never the fast answer:
+  // under pressure p the resolve lands at solve_cost * (1 + p).
+  const auto g = app::workloads::photo_backup();
+  const BrokerConfig probe_cfg = two_stage_cfg();
+  const Duration solve =
+      probe_cfg.plan_cost_base +
+      probe_cfg.plan_cost_per_component *
+          static_cast<double>(g.component_count());
+
+  for (const double p : {0.0, 1.0}) {
+    ServeFixture fx(two_stage_cfg());
+    StubPressure src;
+    src.p = p;
+    fx.broker.set_backpressure_source(&src);
+    ServeRequest req;
+    req.app = &g;
+    fx.broker.serve(req);
+    // Probe between 1x and 2x the solve cost: the unpressured resolve has
+    // landed by then, the fully pressured one (2x) has not.
+    std::uint64_t resolves_at_probe = 0;
+    fx.sim.schedule_at(TimePoint::origin() + solve * 1.5, [&] {
+      resolves_at_probe = fx.broker.twostage().resolves;
+    });
+    fx.sim.run();
+    EXPECT_EQ(resolves_at_probe, p == 0.0 ? 1u : 0u);
+    EXPECT_EQ(fx.broker.twostage().resolves, 1u);  // it does land eventually
+  }
 }
 
 // ------------------------------------------------------------ Determinism

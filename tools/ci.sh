@@ -14,8 +14,9 @@
 #      LintSelfClean again so a local `ctest` run gets the same gates)
 #   5. prove the fleet determinism contract end-to-end:
 #      bench_f5_scale_users, bench_f12_broker, bench_f13_fabric_contention,
-#      and bench_f14_continuum must emit byte-identical stdout and
-#      NTCO_BENCH_OUT artifacts with NTCO_THREADS=1 and NTCO_THREADS=8
+#      bench_f14_continuum, bench_f15_vehicular, and bench_f16_diurnal must
+#      emit byte-identical stdout and NTCO_BENCH_OUT artifacts with
+#      NTCO_THREADS=1 and NTCO_THREADS=8
 #   6. run bench_micro_sim, bench_micro_fabric, and bench_micro_ring and
 #      compare their gated loops against the checked-in
 #      BENCH_micro_sim.json / BENCH_micro_fabric.json /
@@ -25,9 +26,9 @@
 #      copying the build's JSON to the repo root after a deliberate
 #      kernel/fabric/ring change.
 #   7. rebuild under ThreadSanitizer and rerun the fleet, broker,
-#      fabric-fleet, and dataplane suites (everything that exercises the
-#      worker pool or the lock-free rings) —
-#      ctest -R '^Fleet|^Broker|^FabricFleet|^Dataplane'
+#      fabric-fleet, dataplane, and arrival-fleet suites (everything that
+#      exercises the worker pool or the lock-free rings) —
+#      ctest -R '^Fleet|^Broker|^FabricFleet|^Dataplane|^ArrivalFleet'
 #   8. rebuild under ASan + UBSan and rerun the whole suite
 #
 #   tools/ci.sh [build-dir]             (default: build-ci)
@@ -62,8 +63,8 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== [4/8] unit + integration tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== [5/8] fleet determinism: F5 + F12 + F13 + F14 artifacts at NTCO_THREADS=1 vs 8 =="
-for det_bench in bench_f5_scale_users bench_f12_broker bench_f13_fabric_contention bench_f14_continuum; do
+echo "== [5/8] fleet determinism: F5 + F12-F16 artifacts at NTCO_THREADS=1 vs 8 =="
+for det_bench in bench_f5_scale_users bench_f12_broker bench_f13_fabric_contention bench_f14_continuum bench_f15_vehicular bench_f16_diurnal; do
   DET_DIR="$BUILD_DIR/fleet-determinism/$det_bench"
   rm -rf "$DET_DIR"
   mkdir -p "$DET_DIR/t1" "$DET_DIR/t8"
@@ -120,17 +121,18 @@ if [ "${NTCO_CI_SKIP_SANITIZERS:-0}" = "1" ]; then
   exit 0
 fi
 
-echo "== [7/8] ThreadSanitizer: fleet + broker + continuum + dataplane suites =="
+echo "== [7/8] ThreadSanitizer: fleet + broker + continuum + dataplane + arrivals suites =="
 cmake -B "$BUILD_DIR-tsan" -S "$SRC_DIR" \
   -DNTCO_SANITIZE=thread \
   -DNTCO_BUILD_BENCHMARKS=OFF -DNTCO_BUILD_EXAMPLES=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR-tsan" \
   --target fleet_test broker_test fabric_test continuum_test dataplane_test \
+  arrivals_test \
   -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure \
-  -R '^Fleet|^Broker|^FabricFleet|^Dataplane'
+  -R '^Fleet|^Broker|^FabricFleet|^Dataplane|^ArrivalFleet'
 
 echo "== [8/8] ASan + UBSan: full suite =="
 "$SRC_DIR/tools/sanitize.sh" address "$BUILD_DIR-asan"
